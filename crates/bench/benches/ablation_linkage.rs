@@ -1,0 +1,74 @@
+//! A1 ablation — linkage-method cost on growing point sets, plus the MST
+//! fast path for single linkage. DESIGN.md calls out the linkage choice as
+//! the main free parameter of the clustering stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clustering::condensed::CondensedMatrix;
+use clustering::distance::Metric;
+use clustering::hac::{linkage, single_linkage_mst, LinkageMethod};
+use clustering::nnchain::nn_chain_linkage;
+use clustering::slink::slink_linkage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect()
+}
+
+fn linkage_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linkage_methods");
+    group.sample_size(10);
+    for n in [50usize, 150, 400] {
+        let pts = random_points(n, 8, 42);
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        for method in [
+            LinkageMethod::Single,
+            LinkageMethod::Complete,
+            LinkageMethod::Average,
+            LinkageMethod::Ward,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), n),
+                &d,
+                |b, d| b.iter(|| black_box(linkage(d, method))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("single_mst_fastpath", n), &d, |b, d| {
+            b.iter(|| black_box(single_linkage_mst(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("single_slink", n), &d, |b, d| {
+            b.iter(|| black_box(slink_linkage(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("average_nnchain", n), &d, |b, d| {
+            b.iter(|| black_box(nn_chain_linkage(d, LinkageMethod::Average)))
+        });
+        group.bench_with_input(BenchmarkId::new("ward_nnchain", n), &d, |b, d| {
+            b.iter(|| black_box(nn_chain_linkage(d, LinkageMethod::Ward)))
+        });
+    }
+    group.finish();
+}
+
+fn distance_matrices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdist");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        let pts = random_points(n, 64, 7);
+        for metric in [Metric::Euclidean, Metric::Cosine, Metric::Jaccard] {
+            group.bench_with_input(
+                BenchmarkId::new(metric.name(), n),
+                &pts,
+                |b, pts| b.iter(|| black_box(CondensedMatrix::pdist(pts, metric))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, linkage_methods, distance_matrices);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! A1 ablation — mining cost vs support threshold and corpus scale.
+//!
+//! The paper fixes support at 0.2 as a noise/coverage trade-off; the
+//! threshold sweep shows the cost cliff as the threshold drops (pattern
+//! explosion), and the scale sweep shows FP-Growth's linear behaviour in
+//! corpus size at fixed threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pattern_mining::charm::Charm;
+use pattern_mining::filter;
+use pattern_mining::fpgrowth::FpGrowth;
+use pattern_mining::topk::TopK;
+use pattern_mining::transaction::TransactionDb;
+use pattern_mining::Miner;
+use recipedb::generator::{CorpusGenerator, GeneratorConfig};
+use recipedb::Cuisine;
+
+fn transactions_at_scale(scale: f64) -> TransactionDb {
+    let mut cfg = GeneratorConfig::paper_scale(scale).with_seed(5);
+    cfg.min_recipes_per_cuisine = 50;
+    let db = CorpusGenerator::new(cfg).generate();
+    TransactionDb::from_rows(
+        db.transactions_for(Cuisine::Italian)
+            .into_iter()
+            .map(|tx| tx.into_iter().map(|t| t.0).collect())
+            .collect(),
+    )
+}
+
+fn support_sweep(c: &mut Criterion) {
+    let tdb = transactions_at_scale(0.1);
+    let mut group = c.benchmark_group("support_sweep");
+    group.sample_size(10);
+    for support in [0.4, 0.3, 0.2, 0.15, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{support:.2}")),
+            &tdb,
+            |b, tdb| b.iter(|| black_box(FpGrowth::new(support).mine(tdb))),
+        );
+    }
+    group.finish();
+}
+
+fn scale_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_sweep");
+    group.sample_size(10);
+    for scale in [0.05, 0.1, 0.25, 0.5] {
+        let tdb = transactions_at_scale(scale);
+        group.throughput(Throughput::Elements(tdb.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}tx", tdb.len())),
+            &tdb,
+            |b, tdb| b.iter(|| black_box(FpGrowth::new(0.2).mine(tdb))),
+        );
+    }
+    group.finish();
+}
+
+fn closed_mining(c: &mut Criterion) {
+    // CHARM vs mine-everything-then-filter, on the Table I workload.
+    let tdb = transactions_at_scale(0.1);
+    let mut group = c.benchmark_group("closed_mining");
+    group.sample_size(10);
+    group.bench_function("charm_direct", |b| {
+        b.iter(|| black_box(Charm::new(0.2).mine(&tdb)))
+    });
+    group.bench_function("fpgrowth_then_filter", |b| {
+        b.iter(|| black_box(filter::closed(&FpGrowth::new(0.2).mine(&tdb))))
+    });
+    group.finish();
+}
+
+fn topk_mining(c: &mut Criterion) {
+    let tdb = transactions_at_scale(0.1);
+    let mut group = c.benchmark_group("topk_mining");
+    group.sample_size(10);
+    for k in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &tdb, |b, tdb| {
+            b.iter(|| black_box(TopK::new(k).mine(tdb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, support_sweep, scale_sweep, closed_mining, topk_mining);
+criterion_main!(benches);

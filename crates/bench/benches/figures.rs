@@ -1,0 +1,75 @@
+//! F1–F6 — one benchmark per figure of the paper, timing the exact code
+//! that regenerates it (on a 10%-scale corpus; the `repro` binary runs the
+//! same code at full scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clustering::Metric;
+use cuisine_atlas::experiments;
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use recipedb::generator::GeneratorConfig;
+
+fn bench_atlas() -> CuisineAtlas {
+    let mut corpus = GeneratorConfig::paper_scale(0.1).with_seed(7);
+    corpus.min_recipes_per_cuisine = 200;
+    CuisineAtlas::build(&AtlasConfig { corpus, ..AtlasConfig::paper() })
+}
+
+fn figures(c: &mut Criterion) {
+    let atlas = bench_atlas();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("figure1_elbow_kmeans", |b| {
+        b.iter(|| black_box(atlas.elbow_curve(16, 1)))
+    });
+    group.bench_function("figure2_hac_euclidean", |b| {
+        b.iter(|| black_box(atlas.pattern_tree(Metric::Euclidean)))
+    });
+    group.bench_function("figure3_hac_cosine", |b| {
+        b.iter(|| black_box(atlas.pattern_tree(Metric::Cosine)))
+    });
+    group.bench_function("figure4_hac_jaccard", |b| {
+        b.iter(|| black_box(atlas.pattern_tree(Metric::Jaccard)))
+    });
+    group.bench_function("figure5_authenticity", |b| {
+        b.iter(|| black_box(atlas.authenticity_tree()))
+    });
+    group.bench_function("figure6_geography", |b| {
+        b.iter(|| black_box(atlas.geographic_tree()))
+    });
+    group.bench_function("figure1b_kselect_gap_silhouette", |b| {
+        b.iter(|| {
+            let pts = &atlas.features().binary;
+            black_box((
+                clustering::kselect::silhouette_sweep(pts, 8, 1),
+                clustering::kselect::gap_statistic(pts, 8, 4, 1),
+            ))
+        })
+    });
+    group.bench_function("kmedoids_pam_sweep", |b| {
+        let d = clustering::CondensedMatrix::pdist(&atlas.features().binary, Metric::Euclidean);
+        b.iter(|| black_box(clustering::kmedoids::cost_sweep(&d, 8, 50)))
+    });
+    group.bench_function("q1_validation_report", |b| {
+        b.iter(|| black_box(experiments::validate(&atlas)))
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("build_atlas_10pct_corpus", |b| {
+        b.iter(|| {
+            let mut corpus = GeneratorConfig::paper_scale(0.1).with_seed(7);
+            corpus.min_recipes_per_cuisine = 200;
+            black_box(CuisineAtlas::build(&AtlasConfig { corpus, ..AtlasConfig::paper() }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figures, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! T1 — Table I regeneration benchmarks, plus the A1 miner ablation.
+//!
+//! `table1/mine_all_cuisines` times the exact pipeline behind Table I
+//! (FP-Growth at support 0.2 over all 26 cuisines). The `miner_ablation`
+//! group compares FP-Growth against the Apriori and Eclat baselines and
+//! the multi-threaded FP-Growth on the largest cuisine (Italian), which is
+//! the paper-era motivation for choosing FP-Growth ("an efficient and
+//! scalable method").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{bench_corpus, cuisine_transactions};
+use cuisine_atlas::patterns::{mine_all, CuisinePatterns};
+use pattern_mining::apriori::Apriori;
+use pattern_mining::charm::Charm;
+use pattern_mining::eclat::Eclat;
+use pattern_mining::fpgrowth::FpGrowth;
+use pattern_mining::parallel::ParallelFpGrowth;
+use pattern_mining::Miner;
+use recipedb::{Cuisine, RecipeDb};
+
+fn italian_transactions(db: &RecipeDb) -> pattern_mining::transaction::TransactionDb {
+    cuisine_transactions(db, Cuisine::Italian)
+}
+
+fn table1(c: &mut Criterion) {
+    let db = bench_corpus();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("mine_all_cuisines_support_0.2", |b| {
+        b.iter(|| black_box(mine_all(&db, 0.2)))
+    });
+    group.bench_function("single_cuisine_italian", |b| {
+        b.iter(|| black_box(CuisinePatterns::mine(&db, Cuisine::Italian, 0.2)))
+    });
+    group.finish();
+}
+
+fn miner_ablation(c: &mut Criterion) {
+    let db = bench_corpus();
+    let tdb = italian_transactions(&db);
+    let mut group = c.benchmark_group("miner_ablation");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("fpgrowth", tdb.len()), &tdb, |b, tdb| {
+        b.iter(|| black_box(FpGrowth::new(0.2).mine(tdb)))
+    });
+    group.bench_with_input(BenchmarkId::new("apriori", tdb.len()), &tdb, |b, tdb| {
+        b.iter(|| black_box(Apriori::new(0.2).mine(tdb)))
+    });
+    group.bench_with_input(BenchmarkId::new("eclat", tdb.len()), &tdb, |b, tdb| {
+        b.iter(|| black_box(Eclat::new(0.2).mine(tdb)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("fpgrowth_parallel_4", tdb.len()),
+        &tdb,
+        |b, tdb| b.iter(|| black_box(ParallelFpGrowth::new(0.2, 4).mine(tdb))),
+    );
+    group.bench_with_input(BenchmarkId::new("charm_closed", tdb.len()), &tdb, |b, tdb| {
+        b.iter(|| black_box(Charm::new(0.2).mine(tdb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1, miner_ablation);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--linkage METHOD] [EXPERIMENT...]
+//!
+//! EXPERIMENT: table1 figure1 figure2 figure3 figure4 figure5 figure6
+//!             validate extensions stats all        (default: all)
+//! --scale S   corpus scale vs the paper's 118k recipes (default 1.0)
+//! --seed N    generator seed (default 42)
+//! --linkage M single|complete|average|weighted|ward (default average)
+//! ```
+
+use std::process::ExitCode;
+
+use clustering::hac::LinkageMethod;
+use cuisine_atlas::experiments;
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use recipedb::generator::GeneratorConfig;
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    linkage: LinkageMethod,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 1.0,
+        seed: 42,
+        linkage: LinkageMethod::Average,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|e| format!("bad --scale {v}: {e}"))?;
+                if opts.scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?;
+            }
+            "--linkage" => {
+                let v = args.next().ok_or("--linkage needs a value")?;
+                opts.linkage = match v.as_str() {
+                    "single" => LinkageMethod::Single,
+                    "complete" => LinkageMethod::Complete,
+                    "average" => LinkageMethod::Average,
+                    "weighted" => LinkageMethod::Weighted,
+                    "ward" => LinkageMethod::Ward,
+                    other => return Err(format!("unknown linkage {other}")),
+                };
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [--scale S] [--seed N] [--linkage M] [EXPERIMENT...]"
+                    .into())
+            }
+            exp => opts.experiments.push(exp.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments.push("all".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut corpus = GeneratorConfig::paper_scale(opts.scale).with_seed(opts.seed);
+    // Keep tiny-scale runs statistically meaningful.
+    corpus.min_recipes_per_cuisine = corpus.min_recipes_per_cuisine.max(300);
+    let config = AtlasConfig {
+        corpus,
+        ..AtlasConfig::paper()
+    }
+    .with_linkage(opts.linkage);
+
+    eprintln!(
+        "building atlas: scale {} (~{} recipes), seed {}, linkage {} ...",
+        opts.scale,
+        config.corpus.total_recipes(),
+        opts.seed,
+        opts.linkage
+    );
+    let atlas = CuisineAtlas::build(&config);
+
+    for exp in &opts.experiments {
+        let out = match exp.as_str() {
+            "table1" | "t1" => experiments::table1(&atlas),
+            "figure1" | "f1" => experiments::figure1_elbow(&atlas),
+            "figure1x" | "f1b" => experiments::figure1_extended(&atlas),
+            "figure2" | "f2" => experiments::figure2_euclidean(&atlas),
+            "figure3" | "f3" => experiments::figure3_cosine(&atlas),
+            "figure4" | "f4" => experiments::figure4_jaccard(&atlas),
+            "figure5" | "f5" => experiments::figure5_authenticity(&atlas),
+            "figure6" | "f6" => experiments::figure6_geography(&atlas),
+            "validate" | "q1" => experiments::validate(&atlas),
+            "extensions" | "ext" => experiments::ext_all(&atlas),
+            "stats" => atlas.db().stats().report(),
+            "all" => experiments::run_all(&atlas),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{out}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,24 @@
+//! Shared fixtures for the benchmark suite: deterministic corpora and
+//! transaction extracts at the standard benchmark scale.
+
+use pattern_mining::transaction::TransactionDb;
+use recipedb::generator::{CorpusGenerator, GeneratorConfig};
+use recipedb::{Cuisine, RecipeDb};
+
+/// The standard benchmark corpus: 10% of the paper scale with a
+/// 200-recipe floor, seed 7.
+pub fn bench_corpus() -> RecipeDb {
+    let mut cfg = GeneratorConfig::paper_scale(0.1).with_seed(7);
+    cfg.min_recipes_per_cuisine = 200;
+    CorpusGenerator::new(cfg).generate()
+}
+
+/// One cuisine's transactions in miner format.
+pub fn cuisine_transactions(db: &RecipeDb, cuisine: Cuisine) -> TransactionDb {
+    TransactionDb::from_rows(
+        db.transactions_for(cuisine)
+            .into_iter()
+            .map(|tx| tx.into_iter().map(|t| t.0).collect())
+            .collect(),
+    )
+}

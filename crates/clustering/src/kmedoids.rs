@@ -1,0 +1,230 @@
+//! K-medoids (PAM — Partitioning Around Medoids, Kaufman & Rousseeuw).
+//!
+//! Unlike k-means, PAM operates directly on a precomputed distance matrix
+//! and its centers are actual observations — the appropriate flat-
+//! clustering baseline for categorical data like the cuisine pattern
+//! vectors, where the paper shows k-means' elbow analysis fails. The
+//! implementation is the classic BUILD + SWAP:
+//!
+//! * **BUILD** greedily selects `k` initial medoids minimizing total
+//!   assignment cost;
+//! * **SWAP** repeatedly applies the single (medoid, non-medoid) exchange
+//!   with the largest cost reduction until no exchange improves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::condensed::CondensedMatrix;
+
+/// Result of a PAM run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMedoidsResult {
+    /// Indices of the chosen medoids, sorted ascending.
+    pub medoids: Vec<usize>,
+    /// Cluster label per point (`labels[i]` indexes into `medoids`).
+    pub labels: Vec<usize>,
+    /// Total distance of points to their medoid.
+    pub cost: f64,
+    /// SWAP iterations performed.
+    pub iterations: usize,
+}
+
+/// Run PAM on a precomputed distance matrix.
+///
+/// # Panics
+/// If `k` is 0 or exceeds the number of points.
+pub fn kmedoids(dist: &CondensedMatrix, k: usize, max_iter: usize) -> KMedoidsResult {
+    let n = dist.len();
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+
+    // BUILD: first medoid minimizes total distance; each further medoid
+    // maximizes the cost reduction it brings.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| dist.get(a, j)).sum();
+            let cb: f64 = (0..n).map(|j| dist.get(b, j)).sum();
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("n >= 1");
+    medoids.push(first);
+    // nearest[i] = distance of i to its closest chosen medoid.
+    let mut nearest: Vec<f64> = (0..n).map(|i| dist.get(i, first)).collect();
+    while medoids.len() < k {
+        let candidate = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let gain = |c: usize| -> f64 {
+                    (0..n)
+                        .map(|j| (nearest[j] - dist.get(c, j)).max(0.0))
+                        .sum()
+                };
+                gain(a)
+                    .partial_cmp(&gain(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-medoid remains");
+        medoids.push(candidate);
+        for (j, near) in nearest.iter_mut().enumerate() {
+            *near = near.min(dist.get(candidate, j));
+        }
+    }
+
+    // SWAP: steepest-descent exchanges.
+    let assignment_cost = |medoids: &[usize]| -> f64 {
+        (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .map(|&m| dist.get(i, m))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    };
+    let mut cost = assignment_cost(&medoids);
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        let mut best: Option<(usize, usize, f64)> = None; // (medoid idx, candidate, new cost)
+        for mi in 0..medoids.len() {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let old = medoids[mi];
+                medoids[mi] = candidate;
+                let new_cost = assignment_cost(&medoids);
+                medoids[mi] = old;
+                if new_cost < cost - 1e-12
+                    && best.is_none_or(|(_, _, bc)| new_cost < bc)
+                {
+                    best = Some((mi, candidate, new_cost));
+                }
+            }
+        }
+        match best {
+            Some((mi, candidate, new_cost)) => {
+                medoids[mi] = candidate;
+                cost = new_cost;
+            }
+            None => break,
+        }
+    }
+
+    medoids.sort_unstable();
+    let labels: Vec<usize> = (0..n)
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    dist.get(i, a)
+                        .partial_cmp(&dist.get(i, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(idx, _)| idx)
+                .expect("k >= 1")
+        })
+        .collect();
+    KMedoidsResult { medoids, labels, cost, iterations }
+}
+
+/// Total-cost curve for `k = 1..=k_max` — the PAM analogue of the elbow
+/// sweep.
+pub fn cost_sweep(dist: &CondensedMatrix, k_max: usize, max_iter: usize) -> Vec<f64> {
+    (1..=k_max.min(dist.len()))
+        .map(|k| kmedoids(dist, k, max_iter).cost)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(vec![(i % 4) as f64 * 0.1, 0.0]);
+            pts.push(vec![(i % 4) as f64 * 0.1 + 20.0, 20.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs_with_zero_mixing() {
+        let pts = blobs();
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let r = kmedoids(&d, 2, 50);
+        assert_eq!(r.medoids.len(), 2);
+        // Even indices are blob A, odd are blob B.
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0]);
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[1]);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn medoids_are_members_and_self_assigned() {
+        let pts = blobs();
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let r = kmedoids(&d, 3, 50);
+        for (idx, &m) in r.medoids.iter().enumerate() {
+            assert!(m < pts.len());
+            assert_eq!(r.labels[m], idx, "medoid must be in its own cluster");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_picks_the_most_central_point() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let r = kmedoids(&d, 1, 50);
+        // Point 1 or 2 minimises total distance; 1: 0+... (1+0+1+9=11), 2: (2+1+0+8=11) tie -> first.
+        assert!(r.medoids[0] == 1 || r.medoids[0] == 2);
+        assert!(r.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k_equals_n_costs_zero() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let r = kmedoids(&d, 3, 50);
+        assert!(r.cost < 1e-12);
+        assert_eq!(r.medoids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cost_sweep_is_nonincreasing() {
+        let pts: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![(i as f64 * 1.3).sin() * 6.0, (i as f64 * 2.1).cos() * 6.0])
+            .collect();
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let curve = cost_sweep(&d, 8, 50);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn swap_improves_over_build() {
+        // A configuration where greedy BUILD is suboptimal: SWAP must not
+        // increase cost.
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![((i * 7) % 12) as f64, ((i * 5) % 12) as f64])
+            .collect();
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let r = kmedoids(&d, 3, 100);
+        assert!(r.iterations >= 1);
+        assert!(r.cost >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=n")]
+    fn k_zero_rejected() {
+        let d = CondensedMatrix::from_condensed(2, vec![1.0]);
+        let _ = kmedoids(&d, 0, 10);
+    }
+}

@@ -1,0 +1,228 @@
+//! Choosing the number of clusters: silhouette sweeps and the **gap
+//! statistic** (Tibshirani, Walther & Hastie 2001).
+//!
+//! The paper's Figure 1 shows the elbow method failing on the cuisine
+//! pattern vectors; this module supplies the two standard stronger
+//! criteria so that failure can be corroborated rather than eyeballed:
+//! a silhouette-vs-k sweep (peaks at a meaningful k when real structure
+//! exists) and the gap statistic (compares the WCSS drop against uniform
+//! reference data; `gap(k) ≥ gap(k+1) − s(k+1)` selects k).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::condensed::CondensedMatrix;
+use crate::distance::Metric;
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::validation::silhouette;
+
+/// Mean silhouette for k-means clusterings with `k = 2..=k_max`.
+/// Returns `(k, silhouette)` pairs.
+pub fn silhouette_sweep(points: &[Vec<f64>], k_max: usize, seed: u64) -> Vec<(usize, f64)> {
+    let n = points.len();
+    let dist = CondensedMatrix::pdist(points, Metric::Euclidean);
+    (2..=k_max.min(n.saturating_sub(1)))
+        .map(|k| {
+            let r = kmeans(points, &KMeansConfig::new(k).with_seed(seed));
+            (k, silhouette(&dist, &r.labels))
+        })
+        .collect()
+}
+
+/// The best `(k, silhouette)` of a sweep.
+pub fn best_silhouette(points: &[Vec<f64>], k_max: usize, seed: u64) -> Option<(usize, f64)> {
+    silhouette_sweep(points, k_max, seed)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// One point of the gap-statistic curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapPoint {
+    /// Number of clusters.
+    pub k: usize,
+    /// `gap(k) = E*[log WCSS_ref] − log WCSS_data`.
+    pub gap: f64,
+    /// Standard error of the reference term (`s_k`).
+    pub std_err: f64,
+}
+
+/// Compute the gap statistic for `k = 1..=k_max` with `n_refs` uniform
+/// reference datasets drawn from the data's bounding box.
+pub fn gap_statistic(
+    points: &[Vec<f64>],
+    k_max: usize,
+    n_refs: usize,
+    seed: u64,
+) -> Vec<GapPoint> {
+    assert!(!points.is_empty(), "no points");
+    assert!(n_refs >= 1, "need at least one reference dataset");
+    let n = points.len();
+    let dim = points[0].len();
+    let k_max = k_max.min(n);
+
+    // Bounding box of the data.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for (d, &x) in p.iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+
+    let log_wcss = |pts: &[Vec<f64>], k: usize, seed: u64| -> f64 {
+        let w = kmeans(pts, &KMeansConfig::new(k).with_seed(seed)).wcss;
+        w.max(1e-12).ln()
+    };
+
+    let mut out = Vec::with_capacity(k_max);
+    for k in 1..=k_max {
+        let data_term = log_wcss(points, k, seed);
+        let mut ref_terms = Vec::with_capacity(n_refs);
+        for r in 0..n_refs {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xA5A5_0000 + r as u64));
+            let reference: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..dim)
+                        .map(|d| {
+                            if (hi[d] - lo[d]).abs() < 1e-12 {
+                                lo[d]
+                            } else {
+                                rng.gen_range(lo[d]..hi[d])
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            ref_terms.push(log_wcss(&reference, k, seed.wrapping_add(r as u64)));
+        }
+        let mean = ref_terms.iter().sum::<f64>() / n_refs as f64;
+        let var = ref_terms.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n_refs as f64;
+        // Tibshirani's s_k includes the simulation-error inflation factor.
+        let std_err = var.sqrt() * (1.0 + 1.0 / n_refs as f64).sqrt();
+        out.push(GapPoint { k, gap: mean - data_term, std_err });
+    }
+    out
+}
+
+/// Tibshirani's selection rule, hardened: the smallest `k` with a
+/// **non-negative** gap and `gap(k) ≥ gap(k+1) − s(k+1)`. (A negative gap
+/// means the data clusters *worse* than a uniform reference at that k —
+/// e.g. two well-separated blobs forced into one k-means cluster — so
+/// such k cannot be evidence of structure; the textbook rule without this
+/// guard degenerates to k=1 on multi-blob data.) Falls back to the argmax
+/// of the gap when no k satisfies the inequality; returns `None` when
+/// every gap is negative.
+pub fn gap_select(curve: &[GapPoint]) -> Option<usize> {
+    for w in curve.windows(2) {
+        if w[0].gap >= 0.0 && w[0].gap >= w[1].gap - w[1].std_err {
+            return Some(w[0].k);
+        }
+    }
+    curve
+        .iter()
+        .max_by(|a, b| a.gap.partial_cmp(&b.gap).unwrap_or(std::cmp::Ordering::Equal))
+        .filter(|p| p.gap >= 0.0)
+        .map(|p| p.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            let jitter = (i as f64) * 0.03;
+            pts.push(vec![0.0 + jitter, 0.0]);
+            pts.push(vec![10.0 + jitter, 10.0]);
+            pts.push(vec![20.0 - jitter, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn silhouette_peaks_at_three_for_three_blobs() {
+        let (k, s) = best_silhouette(&three_blobs(), 8, 3).expect("sweep non-empty");
+        assert_eq!(k, 3);
+        assert!(s > 0.8, "clean blobs: silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_sweep_shape() {
+        let sweep = silhouette_sweep(&three_blobs(), 6, 3);
+        assert_eq!(sweep.len(), 5); // k = 2..=6
+        assert!(sweep.iter().all(|&(k, _)| (2..=6).contains(&k)));
+        assert!(sweep.iter().all(|&(_, s)| (-1.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn gap_statistic_selects_three_for_three_blobs() {
+        let curve = gap_statistic(&three_blobs(), 6, 8, 11);
+        assert_eq!(curve.len(), 6);
+        let k = gap_select(&curve).expect("structured data selects a k");
+        assert!(
+            (2..=4).contains(&k),
+            "blob structure should be detected near k=3, got {k}: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn gap_statistic_weak_on_uniform_scatter() {
+        // Uniform-ish scatter: the gap curve should not show the strong
+        // early stopping that blob data shows; selected k (if any) has a
+        // small gap value.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        let curve = gap_statistic(&pts, 6, 8, 11);
+        let max_gap = curve.iter().map(|p| p.gap).fold(f64::MIN, f64::max);
+        let blob_curve = gap_statistic(&three_blobs(), 6, 8, 11);
+        let blob_max = blob_curve.iter().map(|p| p.gap).fold(f64::MIN, f64::max);
+        assert!(
+            max_gap < blob_max,
+            "uniform scatter ({max_gap}) must gap below blobs ({blob_max})"
+        );
+    }
+
+    #[test]
+    fn gap_handles_degenerate_dimension() {
+        // One constant coordinate: bounding box has zero width there.
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 7.0]).collect();
+        let curve = gap_statistic(&pts, 3, 4, 2);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|p| p.gap.is_finite()));
+    }
+
+    #[test]
+    fn gap_select_falls_back_to_argmax_when_curve_always_improves() {
+        let curve = vec![
+            GapPoint { k: 1, gap: 0.0, std_err: 0.01 },
+            GapPoint { k: 2, gap: 1.0, std_err: 0.01 },
+            GapPoint { k: 3, gap: 2.0, std_err: 0.01 },
+        ];
+        assert_eq!(gap_select(&curve), Some(3));
+    }
+
+    #[test]
+    fn gap_select_none_when_all_gaps_negative() {
+        let curve = vec![
+            GapPoint { k: 1, gap: -0.5, std_err: 0.01 },
+            GapPoint { k: 2, gap: -1.0, std_err: 0.01 },
+        ];
+        assert_eq!(gap_select(&curve), None);
+    }
+
+    #[test]
+    fn gap_select_skips_negative_prefix() {
+        let curve = vec![
+            GapPoint { k: 1, gap: -0.8, std_err: 0.1 },
+            GapPoint { k: 2, gap: -0.9, std_err: 0.2 },
+            GapPoint { k: 3, gap: 7.5, std_err: 0.2 },
+            GapPoint { k: 4, gap: 7.4, std_err: 0.2 },
+        ];
+        assert_eq!(gap_select(&curve), Some(3));
+    }
+}

@@ -1,0 +1,62 @@
+//! # clustering — hierarchical agglomerative clustering, k-means and
+//! validation indices, from scratch
+//!
+//! This crate is the clustering substrate of the cuisine-atlas
+//! reproduction. It provides the pieces the paper gets from scipy /
+//! scikit-learn, re-implemented and tested:
+//!
+//! * [`distance`] — Euclidean, Cosine, Jaccard (the paper's three
+//!   metrics), plus Manhattan and Hamming;
+//! * [`condensed`] — `pdist`-style condensed distance matrices;
+//! * [`hac`] — agglomerative clustering with single / complete / average /
+//!   weighted / ward / centroid / median linkage via the Lance–Williams
+//!   recurrence (`scipy.cluster.hierarchy.linkage` equivalent), plus the
+//!   O(n²) nearest-neighbour-chain driver ([`nnchain`]) for reducible
+//!   methods;
+//! * [`dendrogram`] — the merge tree: leaf ordering, cutting, cophenetic
+//!   distances, ASCII rendering and Newick export;
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding, WCSS and the
+//!   elbow sweep of the paper's Figure 1;
+//! * [`kmedoids`] — PAM over precomputed distances (the flat-clustering
+//!   baseline appropriate for categorical data);
+//! * [`kselect`] — silhouette sweeps and the gap statistic for choosing
+//!   k (corroborating Figure 1's "no elbow" finding);
+//! * [`validation`] — cophenetic correlation, Baker's gamma, silhouette,
+//!   Adjusted Rand Index and Fowlkes–Mallows;
+//! * [`treecmp`] — Robinson–Foulds clade distance and the Fowlkes–Mallows
+//!   Bₖ curve for dendrogram-vs-dendrogram validation;
+//! * [`encode`] — label encoding and binary incidence vectorization (the
+//!   paper's pattern-to-feature-vector step).
+//!
+//! ```
+//! use clustering::condensed::CondensedMatrix;
+//! use clustering::hac::{linkage, LinkageMethod};
+//! use clustering::dendrogram::Dendrogram;
+//!
+//! // Three points on a line: 0 and 1 are close, 2 is far.
+//! let d = CondensedMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs() * (j as f64));
+//! let merges = linkage(&d, LinkageMethod::Average);
+//! let tree = Dendrogram::from_merges(3, &merges);
+//! assert_eq!(tree.leaf_order().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod condensed;
+pub mod dendrogram;
+pub mod distance;
+pub mod encode;
+pub mod hac;
+pub mod kmeans;
+pub mod kmedoids;
+pub mod kselect;
+pub mod nnchain;
+pub mod slink;
+pub mod treecmp;
+pub mod validation;
+
+pub use condensed::CondensedMatrix;
+pub use dendrogram::Dendrogram;
+pub use distance::Metric;
+pub use hac::{linkage, LinkageMethod, Merge};

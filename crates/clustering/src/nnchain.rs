@@ -1,0 +1,245 @@
+//! The nearest-neighbour-chain HAC algorithm (Benzécri / Murtagh):
+//! guaranteed **O(n²)** agglomeration for *reducible* linkage methods
+//! (single, complete, average, weighted, Ward) — the algorithm behind
+//! `scipy.cluster.hierarchy.linkage`'s fast paths.
+//!
+//! The chain invariant: follow nearest-neighbour pointers until a
+//! *reciprocal* pair is found; for reducible linkages a reciprocal
+//! nearest-neighbour pair can be merged immediately without invalidating
+//! the rest of the chain. Merges are discovered out of height order and
+//! sorted afterwards (the scipy convention), so the output is the same
+//! `Z`-matrix shape as [`crate::hac::linkage`].
+
+use crate::condensed::CondensedMatrix;
+use crate::hac::{LinkageMethod, Merge};
+
+/// Run NN-chain agglomeration. Produces exactly the merge heights of
+/// [`crate::hac::linkage`] for the same (reducible) method.
+///
+/// # Panics
+/// If the matrix has fewer than 2 points, or `method` is not reducible
+/// (centroid and median linkage can invert, which breaks the chain
+/// invariant).
+pub fn nn_chain_linkage(dist: &CondensedMatrix, method: LinkageMethod) -> Vec<Merge> {
+    let n = dist.len();
+    assert!(n >= 2, "need at least 2 points to cluster");
+    assert!(
+        method.is_monotone(),
+        "nn-chain requires a reducible linkage method, got {method}"
+    );
+
+    let working = if method.squares_internally() {
+        dist.map(|d| d * d)
+    } else {
+        dist.clone()
+    };
+    let mut d = working.to_square();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<f64> = vec![1.0; n];
+    // Canonical representative (smallest original leaf) per active row.
+    let mut rep: Vec<usize> = (0..n).collect();
+
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut raw: Vec<(f64, usize, usize)> = Vec::with_capacity(n - 1);
+
+    for _ in 0..(n - 1) {
+        if chain.is_empty() {
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("an active cluster remains");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().expect("chain non-empty");
+            // Nearest active neighbour; prefer the previous chain element
+            // on ties so reciprocal pairs terminate.
+            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for (k, row) in d[top].iter().enumerate() {
+                if k == top || !active[k] {
+                    continue;
+                }
+                if *row < best_d || (*row == best_d && Some(k) == prev) {
+                    best_d = *row;
+                    best = k;
+                }
+            }
+            debug_assert_ne!(best, usize::MAX);
+            if Some(best) == prev {
+                // Reciprocal pair: merge top with prev.
+                chain.pop();
+                chain.pop();
+                let (i, j) = (top.min(best), top.max(best));
+                let dij = d[i][j];
+                let height = if method.squares_internally() {
+                    dij.max(0.0).sqrt()
+                } else {
+                    dij
+                };
+                raw.push((height, rep[i], rep[j]));
+
+                let (ni, nj) = (size[i], size[j]);
+                active[j] = false;
+                for k in 0..n {
+                    if !active[k] || k == i {
+                        continue;
+                    }
+                    let (ai, aj, beta, gamma) = method.lance_williams(ni, nj, size[k]);
+                    let nd = ai * d[k][i] + aj * d[k][j] + beta * dij
+                        + gamma * (d[k][i] - d[k][j]).abs();
+                    d[k][i] = nd;
+                    d[i][k] = nd;
+                }
+                size[i] = ni + nj;
+                rep[i] = rep[i].min(rep[j]);
+                break;
+            }
+            chain.push(best);
+        }
+        // Drop any deactivated entries that may linger at the chain tail.
+        while let Some(&t) = chain.last() {
+            if active[t] {
+                break;
+            }
+            chain.pop();
+        }
+    }
+
+    merges_from_weighted_pairs(n, raw)
+}
+
+/// Convert `(height, leaf_rep_a, leaf_rep_b)` triples — discovered in any
+/// order — into a height-sorted scipy-style merge list via union-find.
+/// Shared with the MST single-linkage path.
+pub(crate) fn merges_from_weighted_pairs(
+    n: usize,
+    mut edges: Vec<(f64, usize, usize)>,
+) -> Vec<Merge> {
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; 2 * n - 1];
+    let mut merges = Vec::with_capacity(n - 1);
+    for (step, (w, u, v)) in edges.into_iter().enumerate() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        debug_assert_ne!(ru, rv, "edge joins an already-merged pair");
+        let (la, lb) = {
+            let (x, y) = (cluster_of[ru], cluster_of[rv]);
+            (x.min(y), x.max(y))
+        };
+        let new_label = n + step;
+        let new_size = sizes[la] + sizes[lb];
+        sizes[new_label] = new_size;
+        merges.push(Merge { a: la, b: lb, distance: w, size: new_size });
+        parent[rv] = ru;
+        cluster_of[ru] = new_label;
+    }
+    merges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dendrogram::Dendrogram;
+    use crate::distance::Metric;
+    use crate::hac::linkage;
+
+    fn scatter(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        // Deterministic pseudo-random points without pulling in rand here.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 500.0 - 10.0
+        };
+        (0..n).map(|_| vec![next(), next(), next()]).collect()
+    }
+
+    fn reducible() -> [LinkageMethod; 5] {
+        [
+            LinkageMethod::Single,
+            LinkageMethod::Complete,
+            LinkageMethod::Average,
+            LinkageMethod::Weighted,
+            LinkageMethod::Ward,
+        ]
+    }
+
+    #[test]
+    fn heights_match_generic_linkage() {
+        for seed in [3u64, 17, 99] {
+            let pts = scatter(24, seed);
+            let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+            for method in reducible() {
+                let mut a: Vec<f64> =
+                    linkage(&d, method).iter().map(|m| m.distance).collect();
+                let mut b: Vec<f64> =
+                    nn_chain_linkage(&d, method).iter().map(|m| m.distance).collect();
+                a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() < 1e-9, "{method} seed {seed}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_structure_matches_generic_linkage() {
+        // Beyond heights: the actual tree topology must agree (generic
+        // data, no ties).
+        let pts = scatter(18, 7);
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        for method in reducible() {
+            let t1 = Dendrogram::from_merges(18, &linkage(&d, method));
+            let t2 = Dendrogram::from_merges(18, &nn_chain_linkage(&d, method));
+            let (c1, c2) = (t1.cophenetic(), t2.cophenetic());
+            for (i, j, v) in c1.iter_pairs() {
+                assert!(
+                    (v - c2.get(i, j)).abs() < 1e-9,
+                    "{method}: cophenetic mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merges_are_height_sorted_and_well_formed() {
+        let pts = scatter(15, 5);
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let merges = nn_chain_linkage(&d, LinkageMethod::Average);
+        assert_eq!(merges.len(), 14);
+        for w in merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance - 1e-12);
+        }
+        assert_eq!(merges.last().unwrap().size, 15);
+        // Valid dendrogram.
+        let _ = Dendrogram::from_merges(15, &merges);
+    }
+
+    #[test]
+    fn two_points() {
+        let d = CondensedMatrix::from_condensed(2, vec![4.2]);
+        let m = nn_chain_linkage(&d, LinkageMethod::Complete);
+        assert_eq!(m.len(), 1);
+        assert!((m[0].distance - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reducible")]
+    fn centroid_is_rejected() {
+        let d = CondensedMatrix::from_condensed(2, vec![1.0]);
+        let _ = nn_chain_linkage(&d, LinkageMethod::Centroid);
+    }
+}

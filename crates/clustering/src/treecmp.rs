@@ -1,0 +1,156 @@
+//! Tree-to-tree comparison beyond Baker's gamma: **Robinson–Foulds**
+//! distance over clades and the **Fowlkes–Mallows Bₖ curve** over
+//! matching flat cuts — the "more sophisticated validation metrics" the
+//! paper's future-work section asks for.
+
+use std::collections::HashSet;
+
+use crate::dendrogram::{Dendrogram, Node};
+use crate::validation::fowlkes_mallows;
+
+/// The set of non-trivial clades (leaf bipartitions) of a dendrogram:
+/// every internal node except the root contributes the sorted set of
+/// leaves below it.
+pub fn clades(tree: &Dendrogram) -> HashSet<Vec<usize>> {
+    let mut leafsets: Vec<Vec<usize>> = Vec::new();
+    let mut out = HashSet::new();
+    let n_nodes = 2 * tree.n_leaves() - 1;
+    for id in 0..n_nodes {
+        let set = match *tree.node(id) {
+            Node::Leaf { index } => vec![index],
+            Node::Internal { left, right, .. } => {
+                let mut s = leafsets[left].clone();
+                s.extend_from_slice(&leafsets[right]);
+                s.sort_unstable();
+                s
+            }
+        };
+        // Non-trivial: more than one leaf, not the full leaf set (root).
+        if set.len() > 1 && set.len() < tree.n_leaves() {
+            out.insert(set.clone());
+        }
+        leafsets.push(set);
+    }
+    out
+}
+
+/// Robinson–Foulds distance between two dendrograms over the same leaves:
+/// the number of clades present in exactly one tree. The normalized form
+/// divides by the maximum possible (`2(n − 2)` for binary trees), giving
+/// 0 for identical topologies and 1 for maximally conflicting ones.
+pub fn robinson_foulds(a: &Dendrogram, b: &Dendrogram) -> usize {
+    assert_eq!(a.n_leaves(), b.n_leaves(), "trees must share leaves");
+    let ca = clades(a);
+    let cb = clades(b);
+    ca.symmetric_difference(&cb).count()
+}
+
+/// Normalized Robinson–Foulds in `[0, 1]`.
+pub fn robinson_foulds_normalized(a: &Dendrogram, b: &Dendrogram) -> f64 {
+    let n = a.n_leaves();
+    if n <= 2 {
+        return 0.0;
+    }
+    robinson_foulds(a, b) as f64 / (2.0 * (n as f64 - 2.0))
+}
+
+/// The Fowlkes–Mallows **Bₖ curve** (Fowlkes & Mallows, JASA 1983): for
+/// each `k` in `2..=k_max`, cut both trees into `k` flat clusters and
+/// compute the Fowlkes–Mallows index of the two partitions. High values
+/// across `k` mean the trees agree at every granularity.
+pub fn fowlkes_mallows_bk(a: &Dendrogram, b: &Dendrogram, k_max: usize) -> Vec<f64> {
+    assert_eq!(a.n_leaves(), b.n_leaves(), "trees must share leaves");
+    let k_max = k_max.min(a.n_leaves() - 1).max(2);
+    (2..=k_max)
+        .map(|k| fowlkes_mallows(&a.cut_k(k), &b.cut_k(k)))
+        .collect()
+}
+
+/// Mean of the Bₖ curve — a single-number tree-agreement score in `[0,1]`.
+pub fn mean_bk(a: &Dendrogram, b: &Dendrogram, k_max: usize) -> f64 {
+    let curve = fowlkes_mallows_bk(a, b, k_max);
+    if curve.is_empty() {
+        return 0.0;
+    }
+    curve.iter().sum::<f64>() / curve.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condensed::CondensedMatrix;
+    use crate::distance::Metric;
+    use crate::hac::{linkage, LinkageMethod};
+
+    fn tree_of(pts: &[Vec<f64>], method: LinkageMethod) -> Dendrogram {
+        let d = CondensedMatrix::pdist(pts, Metric::Euclidean);
+        Dendrogram::from_merges(pts.len(), &linkage(&d, method))
+    }
+
+    fn line(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![(i * i) as f64]).collect()
+    }
+
+    #[test]
+    fn clades_count_for_binary_tree() {
+        let t = tree_of(&line(6), LinkageMethod::Single);
+        // A binary tree over n leaves has n-1 internal nodes; excluding
+        // the root leaves n-2 non-trivial clades.
+        assert_eq!(clades(&t).len(), 4);
+    }
+
+    #[test]
+    fn rf_zero_for_identical_trees() {
+        let t = tree_of(&line(8), LinkageMethod::Average);
+        assert_eq!(robinson_foulds(&t, &t), 0);
+        assert_eq!(robinson_foulds_normalized(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn rf_detects_topology_differences() {
+        // Single and complete linkage disagree on chained data.
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * (1.0 + i as f64 * 0.1)]).collect();
+        let a = tree_of(&pts, LinkageMethod::Single);
+        let b = tree_of(&pts, LinkageMethod::Complete);
+        let rf = robinson_foulds_normalized(&a, &b);
+        assert!(rf > 0.0, "different linkages should differ on chained data");
+        assert!(rf <= 1.0);
+        // Symmetry.
+        assert_eq!(robinson_foulds(&a, &b), robinson_foulds(&b, &a));
+    }
+
+    #[test]
+    fn bk_curve_is_one_for_identical_trees() {
+        let t = tree_of(&line(9), LinkageMethod::Average);
+        for v in fowlkes_mallows_bk(&t, &t, 8) {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        assert!((mean_bk(&t, &t, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bk_curve_length_and_bounds() {
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64 * 2.7).sin() * 9.0, (i as f64 * 1.3).cos() * 4.0])
+            .collect();
+        let a = tree_of(&pts, LinkageMethod::Average);
+        let b = tree_of(&pts, LinkageMethod::Ward);
+        let curve = fowlkes_mallows_bk(&a, &b, 10);
+        assert_eq!(curve.len(), 9); // k = 2..=10
+        assert!(curve.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+    }
+
+    #[test]
+    fn mean_bk_ranks_similar_trees_higher() {
+        let pts: Vec<Vec<f64>> = (0..14)
+            .map(|i| vec![(i as f64 * 1.9).sin() * 8.0, (i as f64 * 0.7).cos() * 5.0])
+            .collect();
+        let avg = tree_of(&pts, LinkageMethod::Average);
+        let weighted = tree_of(&pts, LinkageMethod::Weighted);
+        let single = tree_of(&pts, LinkageMethod::Single);
+        // Average and weighted linkage are near-identical variants; single
+        // linkage chains and should agree less with average than weighted
+        // does (or at most equally).
+        assert!(mean_bk(&avg, &weighted, 10) >= mean_bk(&avg, &single, 10) - 1e-9);
+    }
+}

@@ -1,0 +1,271 @@
+//! Cluster and dendrogram validation indices.
+//!
+//! The paper validates its cuisine trees *qualitatively* against a
+//! geography-based tree. This module quantifies that comparison:
+//!
+//! * [`pearson`] / [`spearman`] correlation between condensed matrices;
+//! * [`cophenetic_correlation`] — how faithfully a dendrogram preserves
+//!   the input distances;
+//! * [`bakers_gamma`] — rank correlation between two trees' cophenetic
+//!   matrices (tree–tree similarity);
+//! * [`adjusted_rand_index`] and [`fowlkes_mallows`] — flat-partition
+//!   agreement;
+//! * [`silhouette`] — flat-cluster quality under any metric.
+
+use crate::condensed::CondensedMatrix;
+use crate::dendrogram::Dendrogram;
+
+/// Pearson correlation between two equal-length samples. Returns 0 when
+/// either sample has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Average ranks (ties get the mean of their positions).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && (x[idx[j + 1]] - x[idx[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over average ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Cophenetic correlation coefficient of a dendrogram against the original
+/// distances (scipy `cophenet`).
+pub fn cophenetic_correlation(tree: &Dendrogram, original: &CondensedMatrix) -> f64 {
+    let coph = tree.cophenetic();
+    pearson(coph.data(), original.data())
+}
+
+/// Baker's gamma between two dendrograms over the same leaves: the
+/// Spearman correlation of their cophenetic matrices. 1 means identical
+/// merge structure; ~0 means unrelated.
+pub fn bakers_gamma(a: &Dendrogram, b: &Dendrogram) -> f64 {
+    assert_eq!(a.n_leaves(), b.n_leaves(), "trees must share leaves");
+    spearman(a.cophenetic().data(), b.cophenetic().data())
+}
+
+/// Pearson correlation between two condensed distance matrices over the
+/// same points (direct matrix-level tree/geography comparison).
+pub fn matrix_correlation(a: &CondensedMatrix, b: &CondensedMatrix) -> f64 {
+    assert_eq!(a.len(), b.len(), "matrices must be over the same points");
+    pearson(a.data(), b.data())
+}
+
+/// Contingency counts between two labelings.
+fn contingency(a: &[usize], b: &[usize]) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>) {
+    let ka = a.iter().max().map_or(0, |&m| m + 1);
+    let kb = b.iter().max().map_or(0, |&m| m + 1);
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let rows: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let cols: Vec<u64> = (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    (table, rows, cols)
+}
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index between two flat labelings (1 = identical
+/// partitions, ~0 = chance agreement).
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let (table, rows, cols) = contingency(a, b);
+    let sum_ij: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_a: f64 = rows.iter().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = cols.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Fowlkes–Mallows index between two flat labelings (geometric mean of
+/// pairwise precision and recall).
+pub fn fowlkes_mallows(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let (table, rows, cols) = contingency(a, b);
+    let tp: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let pa: f64 = rows.iter().map(|&c| choose2(c)).sum();
+    let pb: f64 = cols.iter().map(|&c| choose2(c)).sum();
+    if pa <= 0.0 || pb <= 0.0 {
+        return 0.0;
+    }
+    tp / (pa * pb).sqrt()
+}
+
+/// Mean silhouette coefficient of a flat clustering under a precomputed
+/// distance matrix. Points in singleton clusters contribute 0 (sklearn
+/// convention). Returns 0 when every point is in one cluster.
+pub fn silhouette(dist: &CondensedMatrix, labels: &[usize]) -> f64 {
+    let n = dist.len();
+    assert_eq!(labels.len(), n, "one label per point");
+    let k = labels.iter().max().map_or(0, |&m| m + 1);
+    if k <= 1 || n <= 1 {
+        return 0.0;
+    }
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let li = labels[i];
+        if cluster_sizes[li] <= 1 {
+            continue; // silhouette 0 for singletons
+        }
+        // Mean distance to own cluster (a) and nearest other cluster (b).
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist.get(i, j);
+            }
+        }
+        let a = sums[li] / (cluster_sizes[li] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != li && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+    use crate::hac::{linkage, LinkageMethod};
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0, "zero variance");
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone nonlinear relation: spearman 1, pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn cophenetic_correlation_high_for_well_separated_data() {
+        let pts = vec![
+            vec![0.0], vec![0.2], vec![0.4],
+            vec![10.0], vec![10.2], vec![10.4],
+        ];
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let tree = Dendrogram::from_merges(6, &linkage(&d, LinkageMethod::Average));
+        let c = cophenetic_correlation(&tree, &d);
+        assert!(c > 0.95, "clean structure -> high CCC, got {c}");
+    }
+
+    #[test]
+    fn bakers_gamma_identity_and_symmetry() {
+        let pts = vec![vec![0.0], vec![1.0], vec![4.0], vec![10.0], vec![11.0]];
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let t1 = Dendrogram::from_merges(5, &linkage(&d, LinkageMethod::Average));
+        let t2 = Dendrogram::from_merges(5, &linkage(&d, LinkageMethod::Complete));
+        assert!((bakers_gamma(&t1, &t1) - 1.0).abs() < 1e-9);
+        let g12 = bakers_gamma(&t1, &t2);
+        let g21 = bakers_gamma(&t2, &t1);
+        assert!((g12 - g21).abs() < 1e-12);
+        assert!(g12 > 0.5, "same data, different linkage: related trees");
+    }
+
+    #[test]
+    fn ari_perfect_permuted_and_random() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1]; // same partition, renamed
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        let c = vec![0, 1, 0, 1, 0, 1]; // orthogonal partition
+        assert!(adjusted_rand_index(&a, &c) < 0.1);
+        assert!((adjusted_rand_index(&[0], &[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fowlkes_mallows_bounds() {
+        let a = vec![0, 0, 1, 1];
+        assert!((fowlkes_mallows(&a, &a) - 1.0).abs() < 1e-12);
+        let b = vec![0, 1, 0, 1];
+        let fm = fowlkes_mallows(&a, &b);
+        assert!((0.0..=1.0).contains(&fm));
+        // All-singletons vs anything with no co-pairs: 0 by convention.
+        assert_eq!(fowlkes_mallows(&[0, 1, 2], &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_clusters() {
+        let pts = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
+        let good = silhouette(&d, &[0, 0, 1, 1]);
+        assert!(good > 0.9, "separated clusters, got {good}");
+        let bad = silhouette(&d, &[0, 1, 0, 1]);
+        assert!(bad < 0.0, "mixed-up labels, got {bad}");
+        assert_eq!(silhouette(&d, &[0, 0, 0, 0]), 0.0, "single cluster");
+    }
+
+    #[test]
+    fn matrix_correlation_of_identical_matrices() {
+        let m = CondensedMatrix::from_fn(4, |i, j| (i * 3 + j) as f64);
+        assert!((matrix_correlation(&m, &m) - 1.0).abs() < 1e-12);
+    }
+}

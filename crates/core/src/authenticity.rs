@@ -1,0 +1,230 @@
+//! Authenticity-based cuisine fingerprints (paper Section V.B, Figure 5),
+//! after Ahn et al., *Flavor network and the principles of food pairing*
+//! (Scientific Reports, 2011).
+//!
+//! The prevalence of item `i` in cuisine `c` is the fraction of `c`'s
+//! recipes containing `i` (the paper's equation 1 is ambiguous about the
+//! normaliser; Ahn et al.'s per-cuisine normalisation is used, with the
+//! corpus-wide variant available through
+//! [`AuthenticityMatrix::with_normalizer`]). The **relative prevalence**
+//! (authenticity) is `p_i^c = P_i^c − ⟨P_i^k⟩_{k≠c}` — positive for items
+//! over-represented in `c`, negative for items conspicuously absent; both
+//! tails carry signal, which is why the fingerprint keeps the sign.
+
+use std::collections::HashMap;
+
+use recipedb::catalog::TokenId;
+use recipedb::{Cuisine, ItemKind, RecipeDb};
+
+/// Which recipe count normalises prevalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalizer {
+    /// Per-cuisine recipe count (Ahn et al.; default).
+    PerCuisine,
+    /// Corpus-wide recipe count (the paper's literal equation 1).
+    CorpusWide,
+}
+
+/// Cuisines × items prevalence and relative-prevalence matrices.
+#[derive(Debug, Clone)]
+pub struct AuthenticityMatrix {
+    /// Item universe (token ids), in column order.
+    pub items: Vec<TokenId>,
+    /// `prevalence[c][j]` = P of item `items[j]` in cuisine index `c`.
+    pub prevalence: Vec<Vec<f64>>,
+    /// `relative[c][j]` = prevalence − mean prevalence over other cuisines.
+    pub relative: Vec<Vec<f64>>,
+}
+
+impl AuthenticityMatrix {
+    /// Build over the ingredients of the corpus (the paper's Figure 5 is
+    /// "dominantly based on ingredients"), per-cuisine normalised.
+    pub fn ingredients(db: &RecipeDb) -> Self {
+        Self::with_normalizer(db, &[ItemKind::Ingredient], Normalizer::PerCuisine)
+    }
+
+    /// Build over any subset of item kinds with an explicit normaliser.
+    pub fn with_normalizer(db: &RecipeDb, kinds: &[ItemKind], norm: Normalizer) -> Self {
+        let n_cuisines = Cuisine::COUNT;
+        let corpus_total = db.recipe_count().max(1) as f64;
+
+        // Count, per cuisine, in how many recipes each token occurs.
+        let mut columns: HashMap<TokenId, usize> = HashMap::new();
+        let mut counts: Vec<HashMap<TokenId, u32>> = Vec::with_capacity(n_cuisines);
+        for &c in &Cuisine::ALL {
+            let freq = db.item_frequencies(c);
+            for (&tok, _) in freq.iter() {
+                let kind = db.catalog().kind_of(tok).expect("token in catalog");
+                if kinds.contains(&kind) {
+                    let next = columns.len();
+                    columns.entry(tok).or_insert(next);
+                }
+            }
+            counts.push(freq);
+        }
+        let mut items: Vec<(TokenId, usize)> = columns.into_iter().collect();
+        items.sort_by_key(|&(tok, _)| tok);
+        let col_of: HashMap<TokenId, usize> = items
+            .iter()
+            .enumerate()
+            .map(|(j, &(tok, _))| (tok, j))
+            .collect();
+        let items: Vec<TokenId> = items.into_iter().map(|(t, _)| t).collect();
+
+        let mut prevalence = vec![vec![0.0; items.len()]; n_cuisines];
+        for (&cuisine, freq) in Cuisine::ALL.iter().zip(&counts) {
+            let denom = match norm {
+                Normalizer::PerCuisine => db.recipes_in(cuisine).max(1) as f64,
+                Normalizer::CorpusWide => corpus_total,
+            };
+            let row = &mut prevalence[cuisine.index()];
+            for (&tok, &n) in freq {
+                if let Some(&j) = col_of.get(&tok) {
+                    row[j] = n as f64 / denom;
+                }
+            }
+        }
+
+        // Relative prevalence: subtract the mean over the *other* cuisines.
+        let mut relative = vec![vec![0.0; items.len()]; n_cuisines];
+        for j in 0..items.len() {
+            let total: f64 = prevalence.iter().map(|row| row[j]).sum();
+            for c in 0..n_cuisines {
+                let others = (total - prevalence[c][j]) / (n_cuisines as f64 - 1.0);
+                relative[c][j] = prevalence[c][j] - others;
+            }
+        }
+
+        AuthenticityMatrix { items, prevalence, relative }
+    }
+
+    /// Number of item columns.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The fingerprint vector of a cuisine (its relative-prevalence row).
+    pub fn fingerprint(&self, cuisine: Cuisine) -> &[f64] {
+        &self.relative[cuisine.index()]
+    }
+
+    /// The `k` most-authentic (largest relative prevalence) items of a
+    /// cuisine, as `(token, relative_prevalence)` descending.
+    pub fn most_authentic(&self, cuisine: Cuisine, k: usize) -> Vec<(TokenId, f64)> {
+        let row = &self.relative[cuisine.index()];
+        let mut pairs: Vec<(TokenId, f64)> =
+            self.items.iter().copied().zip(row.iter().copied()).collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// The `k` least-authentic (most conspicuously absent) items.
+    pub fn least_authentic(&self, cuisine: Cuisine, k: usize) -> Vec<(TokenId, f64)> {
+        let row = &self.relative[cuisine.index()];
+        let mut pairs: Vec<(TokenId, f64)> =
+            self.items.iter().copied().zip(row.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recipedb::generator::{CorpusGenerator, GeneratorConfig};
+
+    fn db() -> RecipeDb {
+        CorpusGenerator::new(GeneratorConfig::paper_scale(0.03).with_seed(3)).generate()
+    }
+
+    #[test]
+    fn prevalence_rows_are_probabilities() {
+        let m = AuthenticityMatrix::ingredients(&db());
+        assert!(m.n_items() > 100);
+        for row in &m.prevalence {
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn relative_prevalence_sums_to_zero_per_column() {
+        // Σ_c (P_c − mean_{k≠c} P_k) = Σ_c P_c − Σ_c (T − P_c)/(n−1)
+        //   = T − (nT − T)/(n−1) = 0.
+        let m = AuthenticityMatrix::ingredients(&db());
+        for j in (0..m.n_items()).step_by(97) {
+            let s: f64 = m.relative.iter().map(|row| row[j]).sum();
+            assert!(s.abs() < 1e-9, "column {j} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn soy_sauce_is_most_authentic_to_east_asia() {
+        let db = db();
+        let m = AuthenticityMatrix::ingredients(&db);
+        let soy = db.catalog().token_of(recipedb::Item::Ingredient(
+            db.catalog().ingredient("soy sauce").unwrap(),
+        ));
+        let col = m.items.iter().position(|&t| t == soy).expect("soy column");
+        let jp = m.relative[Cuisine::Japanese.index()][col];
+        let uk = m.relative[Cuisine::UK.index()][col];
+        assert!(jp > 0.3, "soy authentic to Japan, got {jp}");
+        assert!(uk < 0.0, "soy counter-authentic to UK, got {uk}");
+        // And it shows up in Japan's top-5 fingerprint.
+        let top: Vec<TokenId> = m
+            .most_authentic(Cuisine::Japanese, 5)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert!(top.contains(&soy));
+    }
+
+    #[test]
+    fn least_authentic_is_negative_for_signature_items_elsewhere() {
+        let db = db();
+        let m = AuthenticityMatrix::ingredients(&db);
+        let least = m.least_authentic(Cuisine::UK, 10);
+        assert!(least.iter().all(|&(_, v)| v < 0.0));
+    }
+
+    #[test]
+    fn corpus_wide_normalizer_scales_down_small_cuisines() {
+        let db = db();
+        let per = AuthenticityMatrix::with_normalizer(
+            &db,
+            &[ItemKind::Ingredient],
+            Normalizer::PerCuisine,
+        );
+        let corpus = AuthenticityMatrix::with_normalizer(
+            &db,
+            &[ItemKind::Ingredient],
+            Normalizer::CorpusWide,
+        );
+        // Corpus-wide prevalence never exceeds per-cuisine prevalence.
+        for (rp, rc) in per.prevalence.iter().zip(&corpus.prevalence) {
+            for (&p, &c) in rp.iter().zip(rc) {
+                assert!(c <= p + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_filter_restricts_columns() {
+        let db = db();
+        let ing = AuthenticityMatrix::ingredients(&db);
+        let all = AuthenticityMatrix::with_normalizer(
+            &db,
+            &[ItemKind::Ingredient, ItemKind::Process, ItemKind::Utensil],
+            Normalizer::PerCuisine,
+        );
+        assert!(all.n_items() > ing.n_items());
+        for &tok in &ing.items {
+            assert_eq!(
+                db.catalog().kind_of(tok),
+                Some(ItemKind::Ingredient),
+                "non-ingredient leaked into ingredient matrix"
+            );
+        }
+    }
+}

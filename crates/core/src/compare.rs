@@ -1,0 +1,126 @@
+//! Quantified tree-vs-geography validation (paper Section VII).
+//!
+//! The paper compares its cuisine trees to the geographic tree by eye;
+//! here the comparison is measured: Pearson correlation between a tree's
+//! cophenetic matrix and the raw geographic distances, Baker's gamma
+//! between trees, and explicit checks of the paper's two headline
+//! historical findings (Canada–France, India–Northern-Africa).
+
+use clustering::validation::{bakers_gamma, matrix_correlation};
+use recipedb::Cuisine;
+
+use crate::pipeline::CuisineTree;
+
+/// Agreement scores between a cuisine tree and the geographic truth.
+#[derive(Debug, Clone)]
+pub struct GeoAgreement {
+    /// The tree's description string.
+    pub tree: String,
+    /// Pearson correlation of cophenetic distances vs geographic
+    /// distances.
+    pub cophenetic_vs_geo: f64,
+    /// Baker's gamma against the geographic dendrogram.
+    pub bakers_gamma: f64,
+}
+
+/// Score one tree against the geographic tree.
+pub fn geo_agreement(tree: &CuisineTree, geo: &CuisineTree) -> GeoAgreement {
+    GeoAgreement {
+        tree: tree.description.clone(),
+        cophenetic_vs_geo: matrix_correlation(&tree.dendrogram.cophenetic(), &geo.distances),
+        bakers_gamma: bakers_gamma(&tree.dendrogram, &geo.dendrogram),
+    }
+}
+
+/// The paper's qualitative findings, checked on a tree.
+#[derive(Debug, Clone)]
+pub struct HistoricalClaims {
+    /// Canadian joins French below (closer than) Canadian–US, despite
+    /// geographic proximity of Canada and the US.
+    pub canada_closer_to_france_than_us: bool,
+    /// Indian Subcontinent joins Northern Africa below Indian–Thai and
+    /// Indian–Southeast-Asian.
+    pub india_closer_to_north_africa_than_neighbors: bool,
+    /// Cophenetic distances backing the booleans, for reports:
+    /// (ca–fr, ca–us, in–nafr, in–thai, in–sea).
+    pub evidence: [f64; 5],
+}
+
+/// Evaluate the paper's Canada–France and India–North-Africa claims on a
+/// cuisine tree.
+pub fn historical_claims(tree: &CuisineTree) -> HistoricalClaims {
+    let coph = tree.dendrogram.cophenetic();
+    let d = |a: Cuisine, b: Cuisine| coph.get(a.index(), b.index());
+    let ca_fr = d(Cuisine::Canadian, Cuisine::French);
+    let ca_us = d(Cuisine::Canadian, Cuisine::US);
+    let in_na = d(Cuisine::IndianSubcontinent, Cuisine::NorthernAfrica);
+    let in_th = d(Cuisine::IndianSubcontinent, Cuisine::Thai);
+    let in_se = d(Cuisine::IndianSubcontinent, Cuisine::SoutheastAsian);
+    HistoricalClaims {
+        canada_closer_to_france_than_us: ca_fr < ca_us,
+        india_closer_to_north_africa_than_neighbors: in_na < in_th && in_na < in_se,
+        evidence: [ca_fr, ca_us, in_na, in_th, in_se],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::Metric;
+
+    #[test]
+    fn agreement_scores_are_in_range_and_self_consistent() {
+        let atlas = crate::testutil::shared_atlas();
+        let geo = atlas.geographic_tree();
+        let self_score = geo_agreement(&geo, &geo);
+        assert!(self_score.cophenetic_vs_geo > 0.5, "geo tree must track geo distances");
+        assert!((self_score.bakers_gamma - 1.0).abs() < 1e-9);
+
+        let euclid = atlas.pattern_tree(Metric::Euclidean);
+        let score = geo_agreement(&euclid, &geo);
+        assert!((-1.0..=1.0).contains(&score.cophenetic_vs_geo));
+        assert!((-1.0..=1.0).contains(&score.bakers_gamma));
+    }
+
+    #[test]
+    fn geography_itself_fails_the_historical_claims() {
+        // Sanity: in pure geography Canada is with the US and India with
+        // its Asian neighbours — the claims must be false there, which is
+        // precisely why the paper calls them historically interesting.
+        let atlas = crate::testutil::shared_atlas();
+        let geo = atlas.geographic_tree();
+        let claims = historical_claims(&geo);
+        assert!(!claims.canada_closer_to_france_than_us);
+    }
+
+    #[test]
+    fn pattern_trees_support_the_historical_claims() {
+        let atlas = crate::testutil::shared_atlas();
+        for metric in [Metric::Euclidean, Metric::Cosine, Metric::Jaccard] {
+            let tree = atlas.pattern_tree(metric);
+            let claims = historical_claims(&tree);
+            assert!(
+                claims.canada_closer_to_france_than_us,
+                "{metric}: Canada–France {} vs Canada–US {}",
+                claims.evidence[0],
+                claims.evidence[1]
+            );
+            assert!(
+                claims.india_closer_to_north_africa_than_neighbors,
+                "{metric}: India–NAfrica {} vs India–Thai {} / India–SEA {}",
+                claims.evidence[2],
+                claims.evidence[3],
+                claims.evidence[4]
+            );
+        }
+    }
+
+    #[test]
+    fn authenticity_tree_supports_the_claims() {
+        let atlas = crate::testutil::shared_atlas();
+        let tree = atlas.authenticity_tree();
+        let claims = historical_claims(&tree);
+        assert!(claims.canada_closer_to_france_than_us, "{:?}", claims.evidence);
+        assert!(claims.india_closer_to_north_africa_than_neighbors, "{:?}", claims.evidence);
+    }
+}

@@ -1,0 +1,345 @@
+//! Extensions beyond the paper — its §VIII future-work list, made
+//! runnable:
+//!
+//! * [`kinds_ablation`] — "RecipeDB is a sparse dataset in terms of
+//!   utensils and processes. Hence, to what extent do they influence the
+//!   relationships among cuisines is yet to be answered": mine with
+//!   ingredients only, ingredients+processes, and all three kinds, and
+//!   measure how the cuisine tree moves.
+//! * [`alias_ablation`] — "future analysis need to account for the
+//!   aliases": merge ingredient aliases and measure the effect.
+//! * [`bootstrap_claims`] — "it would also be interesting to identify
+//!   more sophisticated validation metric": bootstrap-resample the corpus
+//!   and report how stable the tree and the historical claims are.
+//! * [`linkage_sensitivity`] — the clustering stage's main free parameter:
+//!   rebuild the tree under every monotone linkage and compare topologies.
+
+use clustering::condensed::CondensedMatrix;
+use clustering::distance::jaccard_sets;
+use clustering::hac::LinkageMethod;
+use clustering::treecmp::{mean_bk, robinson_foulds_normalized};
+use clustering::validation::bakers_gamma;
+use clustering::Metric;
+use pattern_mining::fpgrowth::FpGrowth;
+use pattern_mining::transaction::TransactionDb;
+use pattern_mining::Miner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recipedb::alias::{alias_impact, AliasTable};
+use recipedb::{Cuisine, ItemKind, RecipeDb};
+
+use crate::compare::historical_claims;
+use crate::features::PatternFeatures;
+use crate::patterns::CuisinePatterns;
+use crate::pipeline::{AtlasConfig, CuisineAtlas, CuisineTree};
+
+/// Mine one cuisine restricted to the given item kinds.
+pub fn mine_cuisine_kinds(
+    db: &RecipeDb,
+    cuisine: Cuisine,
+    min_support: f64,
+    kinds: &[ItemKind],
+) -> CuisinePatterns {
+    let rows: Vec<Vec<u32>> = db
+        .transactions_for_kinds(cuisine, kinds)
+        .into_iter()
+        .map(|tx| tx.into_iter().map(|t| t.0).collect())
+        .collect();
+    let n_recipes = rows.len();
+    let tdb = TransactionDb::from_rows(rows);
+    let itemsets = if n_recipes == 0 {
+        Vec::new()
+    } else {
+        FpGrowth::new(min_support).mine(&tdb)
+    };
+    CuisinePatterns { cuisine, n_recipes, itemsets }
+}
+
+/// Build the Jaccard pattern tree from kind-restricted mining.
+pub fn pattern_tree_for_kinds(
+    db: &RecipeDb,
+    min_support: f64,
+    kinds: &[ItemKind],
+    linkage_method: LinkageMethod,
+) -> CuisineTree {
+    let all: Vec<CuisinePatterns> = Cuisine::ALL
+        .iter()
+        .map(|&c| mine_cuisine_kinds(db, c, min_support, kinds))
+        .collect();
+    let features = PatternFeatures::build(db, &all);
+    let distances = CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
+        jaccard_sets(&features.pattern_sets[i], &features.pattern_sets[j])
+    });
+    let label = kinds.iter().map(|k| k.label()).collect::<Vec<_>>().join("+");
+    CuisineTree::from_distances(
+        format!("patterns[{label}]/jaccard/{linkage_method}"),
+        distances,
+        linkage_method,
+    )
+}
+
+/// Ext1 — how much do processes and utensils shape the cuisine tree?
+pub fn kinds_ablation(atlas: &CuisineAtlas) -> String {
+    use ItemKind::*;
+    let db = atlas.db();
+    let ms = atlas.config().min_support;
+    let lm = atlas.config().linkage;
+    let variants: Vec<(&str, Vec<ItemKind>)> = vec![
+        ("ingredients only", vec![Ingredient]),
+        ("ingredients + processes", vec![Ingredient, Process]),
+        ("ingredients + processes + utensils", vec![Ingredient, Process, Utensil]),
+    ];
+    let trees: Vec<(&str, CuisineTree)> = variants
+        .iter()
+        .map(|(name, kinds)| (*name, pattern_tree_for_kinds(db, ms, kinds, lm)))
+        .collect();
+    let geo = atlas.geographic_tree();
+
+    let mut out = String::new();
+    out.push_str("Ext1 — item-kind ablation (paper §VIII: sparsity of processes/utensils)\n");
+    out.push_str(&format!(
+        "{:<38} {:>9} {:>9} {:>9} {:>8} {:>8}\n",
+        "variant", "γ(vs geo)", "γ(vs all)", "RF(vs all)", "CA~FR", "IN~NA"
+    ));
+    let full = &trees.last().expect("three variants").1;
+    for (name, tree) in &trees {
+        let claims = historical_claims(tree);
+        out.push_str(&format!(
+            "{:<38} {:>9.3} {:>9.3} {:>10.3} {:>8} {:>8}\n",
+            name,
+            bakers_gamma(&tree.dendrogram, &geo.dendrogram),
+            bakers_gamma(&tree.dendrogram, &full.dendrogram),
+            robinson_foulds_normalized(&tree.dendrogram, &full.dendrogram),
+            claims.canada_closer_to_france_than_us,
+            claims.india_closer_to_north_africa_than_neighbors,
+        ));
+    }
+    out.push_str(
+        "\nReading: γ(vs all) near 1 / RF near 0 means the kind adds little\n\
+         beyond ingredients — quantifying the paper's open question.\n",
+    );
+    out
+}
+
+/// Ext2 — alias normalization: merge synonym ingredients and re-run.
+pub fn alias_ablation(atlas: &CuisineAtlas) -> String {
+    let aliases = AliasTable::culinary_defaults();
+    let impact = alias_impact(atlas.db(), &aliases);
+    let merged_db = recipedb::alias::apply(atlas.db(), &aliases);
+    let merged = CuisineAtlas::from_db(merged_db, atlas.config());
+
+    let base_tree = atlas.pattern_tree(Metric::Jaccard);
+    let merged_tree = merged.pattern_tree(Metric::Jaccard);
+    let base_claims = historical_claims(&base_tree);
+    let merged_claims = historical_claims(&merged_tree);
+
+    let mut out = String::new();
+    out.push_str("Ext2 — ingredient alias normalization (paper §VIII)\n");
+    out.push_str("aliases in use (alias -> canonical, affected recipes):\n");
+    for (alias, canonical, n) in impact.iter().take(8) {
+        out.push_str(&format!("  {alias} -> {canonical}: {n}\n"));
+    }
+    out.push_str(&format!(
+        "\ntree stability after merging: Baker's gamma {:.3}, normalized RF {:.3}, mean Bk {:.3}\n",
+        bakers_gamma(&base_tree.dendrogram, &merged_tree.dendrogram),
+        robinson_foulds_normalized(&base_tree.dendrogram, &merged_tree.dendrogram),
+        mean_bk(&base_tree.dendrogram, &merged_tree.dendrogram, 12),
+    ));
+    out.push_str(&format!(
+        "claims before: CA~FR {} / IN~NA {}; after: CA~FR {} / IN~NA {}\n",
+        base_claims.canada_closer_to_france_than_us,
+        base_claims.india_closer_to_north_africa_than_neighbors,
+        merged_claims.canada_closer_to_france_than_us,
+        merged_claims.india_closer_to_north_africa_than_neighbors,
+    ));
+    out
+}
+
+/// Summary of a bootstrap stability run.
+#[derive(Debug, Clone)]
+pub struct BootstrapSummary {
+    /// Number of bootstrap resamples.
+    pub n_resamples: usize,
+    /// Fraction of resamples where Canada–France < Canada–US held.
+    pub canada_france_rate: f64,
+    /// Fraction of resamples where India–N.Africa < India–Thai/SEA held.
+    pub india_nafrica_rate: f64,
+    /// Mean Baker's gamma between each resample tree and the original.
+    pub mean_gamma_to_original: f64,
+}
+
+/// Ext3 — bootstrap-resample recipes per cuisine, rebuild the Jaccard
+/// pattern tree, and measure how stable the tree and the claims are.
+pub fn bootstrap_claims(atlas: &CuisineAtlas, n_resamples: usize, seed: u64) -> BootstrapSummary {
+    let db = atlas.db();
+    let ms = atlas.config().min_support;
+    let lm = atlas.config().linkage;
+    let original = atlas.pattern_tree(Metric::Jaccard);
+
+    // Pre-extract transactions per cuisine once.
+    let base: Vec<Vec<Vec<u32>>> = Cuisine::ALL
+        .iter()
+        .map(|&c| {
+            db.transactions_for(c)
+                .into_iter()
+                .map(|tx| tx.into_iter().map(|t| t.0).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut ca_fr = 0usize;
+    let mut in_na = 0usize;
+    let mut gamma_sum = 0.0;
+    for r in 0..n_resamples {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+        let all: Vec<CuisinePatterns> = Cuisine::ALL
+            .iter()
+            .map(|&c| {
+                let rows = &base[c.index()];
+                let resampled: Vec<Vec<u32>> = (0..rows.len())
+                    .map(|_| rows[rng.gen_range(0..rows.len())].clone())
+                    .collect();
+                let n_recipes = resampled.len();
+                let tdb = TransactionDb::from_rows(resampled);
+                CuisinePatterns { cuisine: c, n_recipes, itemsets: FpGrowth::new(ms).mine(&tdb) }
+            })
+            .collect();
+        let features = PatternFeatures::build(db, &all);
+        let distances = CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
+            jaccard_sets(&features.pattern_sets[i], &features.pattern_sets[j])
+        });
+        let tree = CuisineTree::from_distances(format!("bootstrap[{r}]"), distances, lm);
+        let claims = historical_claims(&tree);
+        ca_fr += claims.canada_closer_to_france_than_us as usize;
+        in_na += claims.india_closer_to_north_africa_than_neighbors as usize;
+        gamma_sum += bakers_gamma(&tree.dendrogram, &original.dendrogram);
+    }
+    BootstrapSummary {
+        n_resamples,
+        canada_france_rate: ca_fr as f64 / n_resamples as f64,
+        india_nafrica_rate: in_na as f64 / n_resamples as f64,
+        mean_gamma_to_original: gamma_sum / n_resamples as f64,
+    }
+}
+
+/// Render a bootstrap summary.
+pub fn bootstrap_report(atlas: &CuisineAtlas, n_resamples: usize, seed: u64) -> String {
+    let s = bootstrap_claims(atlas, n_resamples, seed);
+    format!(
+        "Ext3 — bootstrap stability ({} resamples)\n\
+         Canada–France claim holds in {:.0}% of resamples\n\
+         India–N.Africa claim holds in {:.0}% of resamples\n\
+         mean Baker's gamma to the original tree: {:.3}\n",
+        s.n_resamples,
+        s.canada_france_rate * 100.0,
+        s.india_nafrica_rate * 100.0,
+        s.mean_gamma_to_original,
+    )
+}
+
+/// Ext4 — linkage-method sensitivity of the cuisine tree.
+pub fn linkage_sensitivity(atlas: &CuisineAtlas) -> String {
+    let methods = [
+        LinkageMethod::Single,
+        LinkageMethod::Complete,
+        LinkageMethod::Average,
+        LinkageMethod::Weighted,
+        LinkageMethod::Ward,
+    ];
+    let trees: Vec<CuisineTree> = methods
+        .iter()
+        .map(|&m| {
+            let cfg = AtlasConfig { linkage: m, ..atlas.config().clone() };
+            let distances = atlas.pattern_tree(Metric::Jaccard).distances;
+            CuisineTree::from_distances(format!("patterns/jaccard/{m}"), distances, cfg.linkage)
+        })
+        .collect();
+    let geo = atlas.geographic_tree();
+    let reference = &trees[2]; // average = the pipeline default
+
+    let mut out = String::new();
+    out.push_str("Ext4 — linkage sensitivity (Jaccard pattern distances)\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>12} {:>10} {:>8} {:>8}\n",
+        "linkage", "γ(vs geo)", "γ(vs avg)", "RF(vs avg)", "CA~FR", "IN~NA"
+    ));
+    for (m, tree) in methods.iter().zip(&trees) {
+        let claims = historical_claims(tree);
+        out.push_str(&format!(
+            "{:<12} {:>10.3} {:>12.3} {:>10.3} {:>8} {:>8}\n",
+            m.name(),
+            bakers_gamma(&tree.dendrogram, &geo.dendrogram),
+            bakers_gamma(&tree.dendrogram, &reference.dendrogram),
+            robinson_foulds_normalized(&tree.dendrogram, &reference.dendrogram),
+            claims.canada_closer_to_france_than_us,
+            claims.india_closer_to_north_africa_than_neighbors,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_ablation_runs_and_ingredient_tree_is_informative() {
+        let atlas = crate::testutil::shared_atlas();
+        let report = kinds_ablation(atlas);
+        assert!(report.contains("ingredients only"));
+        // The ingredient-only tree still supports the claims (signature
+        // structure is ingredient-driven).
+        let tree = pattern_tree_for_kinds(
+            atlas.db(),
+            0.2,
+            &[ItemKind::Ingredient],
+            LinkageMethod::Average,
+        );
+        let claims = historical_claims(&tree);
+        assert!(claims.canada_closer_to_france_than_us);
+    }
+
+    #[test]
+    fn kind_restricted_mining_is_a_subset_of_full_mining() {
+        let atlas = crate::testutil::shared_atlas();
+        let full = &atlas.patterns()[Cuisine::Japanese.index()];
+        let ing = mine_cuisine_kinds(atlas.db(), Cuisine::Japanese, 0.2, &[ItemKind::Ingredient]);
+        assert!(ing.pattern_count() < full.pattern_count());
+        // Every ingredient-only itemset is also found by full mining.
+        let full_set: std::collections::HashSet<&[u32]> =
+            full.itemsets.iter().map(|f| f.items.items()).collect();
+        for f in &ing.itemsets {
+            assert!(full_set.contains(f.items.items()), "{} missing", f.items);
+        }
+    }
+
+    #[test]
+    fn alias_ablation_preserves_claims_and_tree_shape() {
+        let atlas = crate::testutil::shared_atlas();
+        let report = alias_ablation(atlas);
+        assert!(report.contains("green onion -> scallion"));
+        assert!(report.contains("after: CA~FR true / IN~NA true"), "{report}");
+    }
+
+    #[test]
+    fn bootstrap_claims_are_stable() {
+        let atlas = crate::testutil::shared_atlas();
+        let s = bootstrap_claims(atlas, 5, 99);
+        assert_eq!(s.n_resamples, 5);
+        assert!(s.canada_france_rate >= 0.8, "{s:?}");
+        assert!(s.india_nafrica_rate >= 0.8, "{s:?}");
+        assert!(s.mean_gamma_to_original > 0.6, "{s:?}");
+    }
+
+    #[test]
+    fn linkage_sensitivity_reports_all_methods() {
+        let atlas = crate::testutil::shared_atlas();
+        let report = linkage_sensitivity(atlas);
+        for m in ["single", "complete", "average", "weighted", "ward"] {
+            assert!(report.contains(m), "missing {m}:\n{report}");
+        }
+        // The reference row (average vs itself) must be a perfect match.
+        let avg_line = report.lines().find(|l| l.starts_with("average")).unwrap();
+        assert!(avg_line.contains("1.000"), "{avg_line}");
+    }
+}

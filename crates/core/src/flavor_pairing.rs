@@ -1,0 +1,175 @@
+//! The food-pairing hypothesis test (E5) — Ahn et al. 2011 / Jain et al.
+//! 2015, the studies the paper's literature survey builds on.
+//!
+//! For each cuisine, compare the mean flavor-compound pairing strength
+//! `N_s` of its real recipes against a **null model** that redistributes
+//! the cuisine's ingredient tokens across recipes (preserving recipe
+//! sizes and corpus-wide ingredient frequencies, Ahn's "frequency-
+//! conserving" null). A positive `Δ N_s = real − null` means the cuisine
+//! actively combines compound-sharing ingredients (positive food
+//! pairing); negative means it avoids them — what Jain et al. found for
+//! Indian food, driven by spices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recipedb::flavor::FlavorTable;
+use recipedb::model::IngredientId;
+use recipedb::{Cuisine, RecipeDb};
+
+/// Food-pairing score of one cuisine.
+#[derive(Debug, Clone)]
+pub struct PairingHypothesis {
+    /// The cuisine.
+    pub cuisine: Cuisine,
+    /// Mean `N_s` over real recipes.
+    pub real_ns: f64,
+    /// Mean `N_s` over the frequency-conserving null model.
+    pub null_ns: f64,
+    /// `real − null`: the food-pairing effect.
+    pub delta: f64,
+}
+
+/// Evaluate the hypothesis for one cuisine. `n_null` controls how many
+/// shuffled corpora the null averages over.
+pub fn pairing_hypothesis(
+    db: &RecipeDb,
+    table: &FlavorTable,
+    cuisine: Cuisine,
+    n_null: usize,
+    seed: u64,
+) -> PairingHypothesis {
+    let recipes: Vec<&recipedb::Recipe> = db.cuisine_recipes(cuisine).collect();
+    let real_ns = mean_ns(table, recipes.iter().map(|r| r.ingredients.clone()));
+
+    // Token pool: every ingredient occurrence in the cuisine.
+    let pool: Vec<IngredientId> = recipes
+        .iter()
+        .flat_map(|r| r.ingredients.iter().copied())
+        .collect();
+    let sizes: Vec<usize> = recipes.iter().map(|r| r.ingredients.len()).collect();
+
+    let mut null_total = 0.0;
+    for trial in 0..n_null.max(1) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+        // Fisher–Yates shuffle of the token pool, then re-slice by sizes.
+        let mut shuffled = pool.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let mut offset = 0usize;
+        let fake = sizes.iter().map(|&len| {
+            // Deduplicate within the fake recipe: real recipes hold
+            // distinct ingredients, and self-pairs (which share the full
+            // compound set) would otherwise inflate the null.
+            let mut slice = shuffled[offset..offset + len].to_vec();
+            offset += len;
+            slice.sort_unstable();
+            slice.dedup();
+            slice
+        });
+        null_total += mean_ns(table, fake);
+    }
+    let null_ns = null_total / n_null.max(1) as f64;
+    PairingHypothesis { cuisine, real_ns, null_ns, delta: real_ns - null_ns }
+}
+
+fn mean_ns(table: &FlavorTable, recipes: impl Iterator<Item = Vec<IngredientId>>) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for ingredients in recipes {
+        total += table.recipe_pairing_strength(&ingredients);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// The full world map: pairing effect per cuisine, sorted by `delta`
+/// descending.
+pub fn pairing_world_map(
+    db: &RecipeDb,
+    n_null: usize,
+    seed: u64,
+) -> Vec<PairingHypothesis> {
+    let table = FlavorTable::synthesize(db);
+    let mut out: Vec<PairingHypothesis> = Cuisine::ALL
+        .iter()
+        .map(|&c| pairing_hypothesis(db, &table, c, n_null, seed))
+        .collect();
+    out.sort_by(|a, b| b.delta.partial_cmp(&a.delta).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Render the world map as the E5 report.
+pub fn report(db: &RecipeDb, n_null: usize, seed: u64) -> String {
+    let map = pairing_world_map(db, n_null, seed);
+    let mut out = String::new();
+    out.push_str("Ext5 — food-pairing hypothesis (Ahn et al. 2011 / Jain et al. 2015)\n");
+    out.push_str(&format!(
+        "{:<24} {:>9} {:>9} {:>9}\n",
+        "cuisine", "real N_s", "null N_s", "ΔN_s"
+    ));
+    for h in &map {
+        out.push_str(&format!(
+            "{:<24} {:>9.3} {:>9.3} {:>+9.3}\n",
+            h.cuisine.name(),
+            h.real_ns,
+            h.null_ns,
+            h.delta
+        ));
+    }
+    out.push_str(
+        "\nΔN_s > 0: the cuisine combines compound-sharing ingredients more\n\
+         than chance (positive food pairing); ΔN_s < 0: it avoids them.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_and_null_are_close_but_not_degenerate() {
+        let atlas = crate::testutil::shared_atlas();
+        let table = FlavorTable::synthesize(atlas.db());
+        let h = pairing_hypothesis(atlas.db(), &table, Cuisine::Korean, 3, 7);
+        assert!(h.real_ns > 0.0);
+        assert!(h.null_ns > 0.0);
+        assert!(h.delta.abs() < h.real_ns, "effect must be a perturbation");
+    }
+
+    #[test]
+    fn null_model_preserves_mass() {
+        // The null mean over many trials is stable (same token pool).
+        let atlas = crate::testutil::shared_atlas();
+        let table = FlavorTable::synthesize(atlas.db());
+        let a = pairing_hypothesis(atlas.db(), &table, Cuisine::Japanese, 4, 1);
+        let b = pairing_hypothesis(atlas.db(), &table, Cuisine::Japanese, 4, 99);
+        assert!((a.null_ns - b.null_ns).abs() < 0.1, "{} vs {}", a.null_ns, b.null_ns);
+        assert_eq!(a.real_ns, b.real_ns, "real N_s is deterministic");
+    }
+
+    #[test]
+    fn world_map_covers_all_cuisines_sorted() {
+        let atlas = crate::testutil::shared_atlas();
+        let map = pairing_world_map(atlas.db(), 2, 5);
+        assert_eq!(map.len(), 26);
+        for w in map.windows(2) {
+            assert!(w[0].delta >= w[1].delta);
+        }
+    }
+
+    #[test]
+    fn report_renders_every_cuisine() {
+        let atlas = crate::testutil::shared_atlas();
+        let text = report(atlas.db(), 2, 5);
+        for c in Cuisine::ALL {
+            assert!(text.contains(c.name()), "missing {c}");
+        }
+    }
+}

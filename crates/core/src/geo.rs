@@ -1,0 +1,65 @@
+//! Geographic ground truth (paper Figure 6): haversine distances between
+//! region centroids and the resulting validation dendrogram.
+
+use clustering::condensed::CondensedMatrix;
+use clustering::dendrogram::Dendrogram;
+use clustering::distance::haversine_km;
+use clustering::hac::{linkage, LinkageMethod};
+use recipedb::Cuisine;
+
+/// Pairwise great-circle distances (km) between the 26 region centroids,
+/// in `Cuisine::index()` order.
+pub fn geographic_distances() -> CondensedMatrix {
+    CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
+        let a = Cuisine::ALL[i].centroid();
+        let b = Cuisine::ALL[j].centroid();
+        haversine_km(a, b)
+    })
+}
+
+/// The geographic validation tree (Figure 6).
+pub fn geographic_tree(method: LinkageMethod) -> Dendrogram {
+    let d = geographic_distances();
+    Dendrogram::from_merges(Cuisine::COUNT, &linkage(&d, method))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_plausible() {
+        let d = geographic_distances();
+        let get = |a: Cuisine, b: Cuisine| d.get(a.index(), b.index());
+        // UK–Irish are neighbours; UK–Australian are antipodal-ish.
+        assert!(get(Cuisine::UK, Cuisine::Irish) < 600.0);
+        assert!(get(Cuisine::UK, Cuisine::Australian) > 12_000.0);
+        // Japan–Korea close; Japan–Mexico far.
+        assert!(get(Cuisine::Japanese, Cuisine::Korean) < 1_500.0);
+        assert!(get(Cuisine::Japanese, Cuisine::Mexican) > 9_000.0);
+    }
+
+    #[test]
+    fn geographic_tree_groups_neighbours() {
+        let tree = geographic_tree(LinkageMethod::Average);
+        let coph = tree.cophenetic();
+        let c = |a: Cuisine, b: Cuisine| coph.get(a.index(), b.index());
+        // In pure geography, Canada merges with the US far below France.
+        assert!(
+            c(Cuisine::Canadian, Cuisine::US) < c(Cuisine::Canadian, Cuisine::French),
+            "geography must put Canada with US"
+        );
+        // Japan joins Korea before joining Scandinavia.
+        assert!(c(Cuisine::Japanese, Cuisine::Korean) < c(Cuisine::Japanese, Cuisine::Scandinavian));
+        // UK and Irish are among the closest pairs in the tree.
+        assert!(c(Cuisine::UK, Cuisine::Irish) <= c(Cuisine::UK, Cuisine::Greek));
+    }
+
+    #[test]
+    fn leaf_order_covers_all_cuisines() {
+        let tree = geographic_tree(LinkageMethod::Average);
+        let mut order = tree.leaf_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..26).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,227 @@
+//! Food-pairing analysis — the research lineage behind the paper
+//! (Ahn et al. 2011 "Flavor network and the principles of food pairing";
+//! Jain, Rakhi & Bagler 2015 "Analysis of food pairing in regional
+//! cuisines of India", references [2] and [8]).
+//!
+//! Pairing strength between two ingredients within a cuisine is measured
+//! by **pointwise mutual information** over recipe co-occurrence:
+//!
+//! `PMI(a, b) = log2( P(a, b) / (P(a) · P(b)) )`
+//!
+//! positive for pairs used together more than chance (soy sauce + sesame
+//! oil in Korean food), negative for pairs the cuisine avoids combining.
+//! The per-cuisine mean PMI over its frequent pairs quantifies whether a
+//! cuisine leans on strong pairings — the question Jain et al. asked of
+//! Indian food.
+
+use recipedb::catalog::TokenId;
+use recipedb::query::CooccurrenceCounts;
+use recipedb::{Cuisine, ItemKind, RecipeDb};
+
+/// One scored ingredient pair.
+#[derive(Debug, Clone)]
+pub struct Pairing {
+    /// First token (lower id).
+    pub a: TokenId,
+    /// Second token.
+    pub b: TokenId,
+    /// Recipes containing both.
+    pub joint: u32,
+    /// Pointwise mutual information (log₂).
+    pub pmi: f64,
+}
+
+/// Pairing analysis of one cuisine.
+#[derive(Debug, Clone)]
+pub struct PairingAnalysis {
+    /// The cuisine analysed.
+    pub cuisine: Cuisine,
+    /// Number of recipes.
+    pub n_recipes: usize,
+    /// All scored pairs (joint count ≥ the configured minimum).
+    pub pairs: Vec<Pairing>,
+}
+
+impl PairingAnalysis {
+    /// Score every ingredient pair of `cuisine` whose members each appear
+    /// in at least `min_item_count` recipes and which co-occur in at least
+    /// `min_joint` recipes.
+    pub fn analyze(
+        db: &RecipeDb,
+        cuisine: Cuisine,
+        min_item_count: u32,
+        min_joint: u32,
+    ) -> Self {
+        let co = CooccurrenceCounts::for_cuisine(db, cuisine, min_item_count);
+        let n = co.n_recipes.max(1) as f64;
+        let mut pairs: Vec<Pairing> = co
+            .pairs
+            .iter()
+            .filter(|&(&(a, b), &joint)| {
+                joint >= min_joint
+                    // Ingredients only: pairing is about food, not verbs.
+                    && db.catalog().kind_of(a) == Some(ItemKind::Ingredient)
+                    && db.catalog().kind_of(b) == Some(ItemKind::Ingredient)
+            })
+            .map(|(&(a, b), &joint)| {
+                let pa = co.marginal(a) as f64 / n;
+                let pb = co.marginal(b) as f64 / n;
+                let pab = joint as f64 / n;
+                Pairing { a, b, joint, pmi: (pab / (pa * pb)).log2() }
+            })
+            .collect();
+        pairs.sort_by(|x, y| y.pmi.partial_cmp(&x.pmi).unwrap_or(std::cmp::Ordering::Equal));
+        PairingAnalysis { cuisine, n_recipes: co.n_recipes, pairs }
+    }
+
+    /// The `k` strongest positive pairings.
+    pub fn strongest(&self, k: usize) -> &[Pairing] {
+        &self.pairs[..k.min(self.pairs.len())]
+    }
+
+    /// The `k` most-avoided pairings (most negative PMI).
+    pub fn most_avoided(&self, k: usize) -> Vec<&Pairing> {
+        self.pairs.iter().rev().take(k).collect()
+    }
+
+    /// Mean PMI across scored pairs — the cuisine-level pairing-affinity
+    /// score in the spirit of Jain et al.
+    pub fn mean_pmi(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().map(|p| p.pmi).sum::<f64>() / self.pairs.len() as f64
+    }
+
+    /// Look up the PMI of a named ingredient pair, if scored.
+    pub fn pmi_of(&self, db: &RecipeDb, a: &str, b: &str) -> Option<f64> {
+        let ta = db.catalog().token_of(recipedb::Item::Ingredient(db.catalog().ingredient(a)?));
+        let tb = db.catalog().token_of(recipedb::Item::Ingredient(db.catalog().ingredient(b)?));
+        let key = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        self.pairs
+            .iter()
+            .find(|p| (p.a, p.b) == key)
+            .map(|p| p.pmi)
+    }
+
+    /// Render the strongest pairings as a small report.
+    pub fn report(&self, db: &RecipeDb, k: usize) -> String {
+        let mut out = format!(
+            "Food pairing in {} ({} recipes, {} scored pairs, mean PMI {:+.3})\n",
+            self.cuisine,
+            self.n_recipes,
+            self.pairs.len(),
+            self.mean_pmi()
+        );
+        for p in self.strongest(k) {
+            out.push_str(&format!(
+                "  {:+.2}  {} + {}  ({} recipes)\n",
+                p.pmi,
+                db.catalog().token_name(p.a).unwrap_or("?"),
+                db.catalog().token_name(p.b).unwrap_or("?"),
+                p.joint
+            ));
+        }
+        out
+    }
+}
+
+/// Mean pairing affinity for every cuisine — a world map of how strongly
+/// each cuisine leans on signature combinations.
+pub fn pairing_affinity_by_cuisine(
+    db: &RecipeDb,
+    min_item_count: u32,
+    min_joint: u32,
+) -> Vec<(Cuisine, f64)> {
+    let mut out: Vec<(Cuisine, f64)> = Cuisine::ALL
+        .iter()
+        .map(|&c| {
+            (c, PairingAnalysis::analyze(db, c, min_item_count, min_joint).mean_pmi())
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atlas_db() -> &'static RecipeDb {
+        crate::testutil::shared_atlas().db()
+    }
+
+    #[test]
+    fn korean_soy_sesame_is_a_strong_pairing() {
+        let db = atlas_db();
+        let a = PairingAnalysis::analyze(db, Cuisine::Korean, 30, 10);
+        let pmi = a
+            .pmi_of(db, "soy sauce", "sesame oil")
+            .expect("pair scored");
+        assert!(pmi > 0.5, "motif pair must have high PMI, got {pmi}");
+        // And it ranks among the strongest pairings.
+        let top: Vec<(&str, &str)> = a
+            .strongest(10)
+            .iter()
+            .map(|p| {
+                (
+                    db.catalog().token_name(p.a).unwrap(),
+                    db.catalog().token_name(p.b).unwrap(),
+                )
+            })
+            .collect();
+        assert!(
+            top.iter().any(|&(x, y)| {
+                (x == "soy sauce" && y == "sesame oil") || (x == "sesame oil" && y == "soy sauce")
+            }),
+            "top pairs: {top:?}"
+        );
+    }
+
+    #[test]
+    fn independent_staples_have_near_zero_pmi() {
+        let db = atlas_db();
+        let a = PairingAnalysis::analyze(db, Cuisine::UK, 50, 20);
+        // salt and water are sampled independently by construction.
+        let pmi = a.pmi_of(db, "salt", "water").expect("pair scored");
+        assert!(pmi.abs() < 0.35, "independent staples PMI ~0, got {pmi}");
+    }
+
+    #[test]
+    fn pairs_are_sorted_and_ingredient_only() {
+        let db = atlas_db();
+        let a = PairingAnalysis::analyze(db, Cuisine::IndianSubcontinent, 30, 10);
+        assert!(!a.pairs.is_empty());
+        for w in a.pairs.windows(2) {
+            assert!(w[0].pmi >= w[1].pmi);
+        }
+        for p in &a.pairs {
+            assert_eq!(db.catalog().kind_of(p.a), Some(ItemKind::Ingredient));
+            assert_eq!(db.catalog().kind_of(p.b), Some(ItemKind::Ingredient));
+        }
+        let avoided = a.most_avoided(3);
+        assert!(avoided.len() <= 3);
+        if let (Some(first), Some(last)) = (a.pairs.first(), avoided.first()) {
+            assert!(first.pmi >= last.pmi);
+        }
+    }
+
+    #[test]
+    fn affinity_ranking_covers_all_cuisines() {
+        let db = atlas_db();
+        let ranking = pairing_affinity_by_cuisine(db, 50, 20);
+        assert_eq!(ranking.len(), 26);
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let db = atlas_db();
+        let a = PairingAnalysis::analyze(db, Cuisine::Korean, 30, 10);
+        let text = a.report(db, 5);
+        assert!(text.contains("Korean"));
+        assert!(text.contains("mean PMI"));
+    }
+}

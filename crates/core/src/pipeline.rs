@@ -1,0 +1,315 @@
+//! The end-to-end cuisine-atlas pipeline: corpus → mining → features →
+//! trees. This is the programmatic API behind every table and figure.
+
+use clustering::condensed::CondensedMatrix;
+use clustering::dendrogram::Dendrogram;
+use clustering::distance::{jaccard_sets, Metric};
+use clustering::hac::{linkage, LinkageMethod};
+use clustering::kmeans::elbow_sweep;
+use recipedb::generator::{CorpusGenerator, GeneratorConfig};
+use recipedb::{Cuisine, RecipeDb};
+
+use crate::authenticity::AuthenticityMatrix;
+use crate::features::PatternFeatures;
+use crate::patterns::{self, CuisinePatterns, SignificantPattern};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct AtlasConfig {
+    /// Corpus generation parameters (ignored when a corpus is supplied via
+    /// [`CuisineAtlas::from_db`]).
+    pub corpus: GeneratorConfig,
+    /// Mining support threshold — 0.2 in the paper.
+    pub min_support: f64,
+    /// HAC linkage method for all trees.
+    pub linkage: LinkageMethod,
+    /// An item frequent in at least this fraction of cuisines is
+    /// "generic" and cannot anchor a Table I significant pattern.
+    pub generic_fraction: f64,
+    /// Significant patterns listed per cuisine in Table I.
+    pub top_k: usize,
+}
+
+impl AtlasConfig {
+    /// The paper's settings over the full-scale corpus (118k recipes).
+    pub fn paper() -> Self {
+        AtlasConfig {
+            corpus: GeneratorConfig::full_paper(),
+            min_support: 0.2,
+            linkage: LinkageMethod::Average,
+            generic_fraction: 0.5,
+            top_k: 3,
+        }
+    }
+
+    /// A fast configuration for tests and examples: a 5%-scale corpus with
+    /// a per-cuisine floor that keeps every calibrated support at least
+    /// two standard errors away from the mining threshold.
+    pub fn quick(seed: u64) -> Self {
+        let mut corpus = GeneratorConfig::paper_scale(0.05).with_seed(seed);
+        corpus.min_recipes_per_cuisine = 1000;
+        AtlasConfig { corpus, ..Self::paper() }
+    }
+
+    /// Replace the linkage method.
+    pub fn with_linkage(mut self, method: LinkageMethod) -> Self {
+        self.linkage = method;
+        self
+    }
+}
+
+/// A cuisine dendrogram plus the distance matrix it was grown from.
+#[derive(Debug, Clone)]
+pub struct CuisineTree {
+    /// What the tree was built from (for reports).
+    pub description: String,
+    /// The pairwise cuisine distances.
+    pub distances: CondensedMatrix,
+    /// The agglomerative merge tree over the 26 cuisines.
+    pub dendrogram: Dendrogram,
+}
+
+impl CuisineTree {
+    /// Grow a tree from a distance matrix (public for the extension
+    /// experiments; the atlas methods below are the primary constructors).
+    pub fn from_distances(
+        description: String,
+        distances: CondensedMatrix,
+        method: LinkageMethod,
+    ) -> Self {
+        Self::grow(description, distances, method)
+    }
+
+    fn grow(description: String, distances: CondensedMatrix, method: LinkageMethod) -> Self {
+        let merges = linkage(&distances, method);
+        let dendrogram = Dendrogram::from_merges(distances.len(), &merges);
+        CuisineTree { description, distances, dendrogram }
+    }
+
+    /// Cophenetic (tree) distance between two cuisines.
+    pub fn cophenetic_between(&self, a: Cuisine, b: Cuisine) -> f64 {
+        self.dendrogram.cophenetic().get(a.index(), b.index())
+    }
+
+    /// The cuisines in dendrogram display order.
+    pub fn leaf_cuisines(&self) -> Vec<Cuisine> {
+        self.dendrogram
+            .leaf_order()
+            .into_iter()
+            .map(|i| Cuisine::ALL[i])
+            .collect()
+    }
+}
+
+/// One row of the Table I report.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The region.
+    pub cuisine: Cuisine,
+    /// Number of recipes mined.
+    pub n_recipes: usize,
+    /// Top significant patterns, best first.
+    pub top_patterns: Vec<SignificantPattern>,
+    /// Total frequent patterns at the support threshold.
+    pub pattern_count: usize,
+}
+
+/// The Table I report.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// One row per cuisine, Table I order.
+    pub rows: Vec<Table1Row>,
+    /// The support threshold used.
+    pub min_support: f64,
+}
+
+/// The built atlas: corpus + mined patterns + feature space, with tree
+/// constructors for every figure.
+pub struct CuisineAtlas {
+    config: AtlasConfig,
+    db: RecipeDb,
+    patterns: Vec<CuisinePatterns>,
+    features: PatternFeatures,
+}
+
+impl CuisineAtlas {
+    /// Generate the corpus described by `config` and build the atlas.
+    pub fn build(config: &AtlasConfig) -> Self {
+        let db = CorpusGenerator::new(config.corpus.clone()).generate();
+        Self::from_db(db, config)
+    }
+
+    /// Build the atlas over an existing corpus (e.g. loaded from JSON).
+    pub fn from_db(db: RecipeDb, config: &AtlasConfig) -> Self {
+        let patterns = patterns::mine_all(&db, config.min_support);
+        let features = PatternFeatures::build(&db, &patterns);
+        CuisineAtlas { config: config.clone(), db, patterns, features }
+    }
+
+    /// The corpus.
+    pub fn db(&self) -> &RecipeDb {
+        &self.db
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AtlasConfig {
+        &self.config
+    }
+
+    /// The per-cuisine mined patterns, Table I order.
+    pub fn patterns(&self) -> &[CuisinePatterns] {
+        &self.patterns
+    }
+
+    /// The encoded pattern feature space.
+    pub fn features(&self) -> &PatternFeatures {
+        &self.features
+    }
+
+    /// **Table I** — top significant patterns per cuisine.
+    pub fn table1(&self) -> Table1 {
+        let generic = patterns::generic_items(&self.patterns, self.config.generic_fraction);
+        let rows = self
+            .patterns
+            .iter()
+            .map(|cp| Table1Row {
+                cuisine: cp.cuisine,
+                n_recipes: cp.n_recipes,
+                top_patterns: patterns::significant_patterns(
+                    &self.db,
+                    cp,
+                    &generic,
+                    self.config.top_k,
+                ),
+                pattern_count: cp.pattern_count(),
+            })
+            .collect();
+        Table1 { rows, min_support: self.config.min_support }
+    }
+
+    /// **Figures 2–4** — the pattern-based cuisine tree under a metric.
+    /// Euclidean and Cosine run on the binary incidence vectors; Jaccard
+    /// runs directly on the pattern sets (equivalent to the binary-vector
+    /// form, cheaper).
+    pub fn pattern_tree(&self, metric: Metric) -> CuisineTree {
+        let description = format!("patterns/{metric}/{}", self.config.linkage);
+        let distances = match metric {
+            Metric::Jaccard => CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
+                jaccard_sets(&self.features.pattern_sets[i], &self.features.pattern_sets[j])
+            }),
+            _ => CondensedMatrix::pdist(&self.features.binary, metric),
+        };
+        CuisineTree::grow(description, distances, self.config.linkage)
+    }
+
+    /// **Figure 5** — the authenticity-based tree over ingredient
+    /// relative-prevalence fingerprints (Euclidean distance).
+    pub fn authenticity_tree(&self) -> CuisineTree {
+        let matrix = AuthenticityMatrix::ingredients(&self.db);
+        let distances = CondensedMatrix::pdist(&matrix.relative, Metric::Euclidean);
+        CuisineTree::grow(
+            format!("authenticity/euclidean/{}", self.config.linkage),
+            distances,
+            self.config.linkage,
+        )
+    }
+
+    /// The authenticity matrix itself (fingerprint inspection).
+    pub fn authenticity_matrix(&self) -> AuthenticityMatrix {
+        AuthenticityMatrix::ingredients(&self.db)
+    }
+
+    /// **Figure 6** — the geographic validation tree.
+    pub fn geographic_tree(&self) -> CuisineTree {
+        let distances = crate::geo::geographic_distances();
+        CuisineTree::grow(
+            format!("geography/haversine/{}", self.config.linkage),
+            distances,
+            self.config.linkage,
+        )
+    }
+
+    /// **Figure 1** — the k-means elbow curve (WCSS for k = 1..=k_max)
+    /// over the binary pattern vectors.
+    pub fn elbow_curve(&self, k_max: usize, seed: u64) -> Vec<f64> {
+        elbow_sweep(&self.features.binary, k_max, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atlas() -> &'static CuisineAtlas {
+        crate::testutil::shared_atlas()
+    }
+
+    #[test]
+    fn table1_has_26_populated_rows() {
+        let t = atlas().table1();
+        assert_eq!(t.rows.len(), 26);
+        assert_eq!(t.min_support, 0.2);
+        for row in &t.rows {
+            assert!(!row.top_patterns.is_empty(), "{}: no significant patterns", row.cuisine);
+            assert!(row.pattern_count >= row.top_patterns.len());
+            assert!(
+                row.top_patterns[0].support >= 0.2 - 0.03,
+                "{}: top support {}",
+                row.cuisine,
+                row.top_patterns[0].support
+            );
+            for w in row.top_patterns.windows(2) {
+                assert!(w[0].support >= w[1].support, "{}: unsorted", row.cuisine);
+            }
+        }
+    }
+
+    #[test]
+    fn all_trees_cover_26_cuisines() {
+        let a = atlas();
+        for tree in [
+            a.pattern_tree(Metric::Euclidean),
+            a.pattern_tree(Metric::Cosine),
+            a.pattern_tree(Metric::Jaccard),
+            a.authenticity_tree(),
+            a.geographic_tree(),
+        ] {
+            assert_eq!(tree.dendrogram.n_leaves(), 26, "{}", tree.description);
+            let mut leaves = tree.dendrogram.leaf_order();
+            leaves.sort_unstable();
+            assert_eq!(leaves, (0..26).collect::<Vec<_>>(), "{}", tree.description);
+        }
+    }
+
+    #[test]
+    fn jaccard_tree_matches_binary_vector_jaccard() {
+        // The set-based Jaccard shortcut must equal the vector form.
+        let a = atlas();
+        let set_tree = a.pattern_tree(Metric::Jaccard);
+        let vec_d = CondensedMatrix::pdist(&a.features().binary, Metric::Jaccard);
+        for (i, j, d) in set_tree.distances.iter_pairs() {
+            assert!((d - vec_d.get(i, j)).abs() < 1e-12, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn elbow_curve_is_weakly_decreasing() {
+        let a = atlas();
+        let curve = a.elbow_curve(10, 5);
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] * 1.05 + 1e-9, "{:?}", curve);
+        }
+    }
+
+    #[test]
+    fn from_db_roundtrip_builds_identical_patterns() {
+        let cfg = AtlasConfig::quick(13);
+        let a = CuisineAtlas::build(&cfg);
+        let json = recipedb::io::to_json(a.db()).unwrap();
+        let db2 = recipedb::io::from_json(&json).unwrap();
+        let b = CuisineAtlas::from_db(db2, &cfg);
+        assert_eq!(a.patterns()[0].pattern_count(), b.patterns()[0].pattern_count());
+        assert_eq!(a.features().vocab_size(), b.features().vocab_size());
+    }
+}

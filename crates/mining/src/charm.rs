@@ -1,0 +1,271 @@
+//! CHARM (Zaki & Hsiao, SDM 2002) — mining **closed** frequent itemsets
+//! directly, without enumerating the full frequent lattice.
+//!
+//! The cuisine-atlas Table I report consumes closed itemsets (a signature
+//! bundle is the closed set its subset lattice collapses onto); the
+//! baseline path mines everything with FP-Growth and post-filters with
+//! [`crate::filter::closed`]. CHARM instead explores an itemset–tidset
+//! tree and applies the four tidset properties to jump straight between
+//! closures:
+//!
+//! 1. `t(Xi) = t(Xj)` — `Xj` can never appear without `Xi`: absorb `Xj`
+//!    into `Xi` and drop `Xj`'s subtree;
+//! 2. `t(Xi) ⊂ t(Xj)` — absorb `Xj` into `Xi` but keep `Xj`'s subtree;
+//!    3/4. otherwise — `Xi ∪ Xj` opens a new subtree.
+//!
+//! A final subsumption check (same support + superset already emitted)
+//! guarantees exact closedness. Output is cross-checked against
+//! `filter::closed(FpGrowth)` in the tests and the property suite.
+
+use std::collections::HashMap;
+
+use crate::itemset::{FrequentItemset, ItemId, Itemset};
+use crate::min_count;
+use crate::transaction::TransactionDb;
+
+/// The CHARM closed-itemset miner.
+#[derive(Debug, Clone)]
+pub struct Charm {
+    min_support: f64,
+}
+
+impl Charm {
+    /// Create a miner with a relative minimum support in `(0, 1]`.
+    pub fn new(min_support: f64) -> Self {
+        assert!(
+            min_support > 0.0 && min_support <= 1.0,
+            "min_support must be in (0, 1], got {min_support}"
+        );
+        Charm { min_support }
+    }
+}
+
+/// Accumulates closed sets with subsumption checking.
+#[derive(Default)]
+struct ClosedSets {
+    by_count: HashMap<u64, Vec<Itemset>>,
+}
+
+impl ClosedSets {
+    /// Insert unless an already-stored set of equal support subsumes it.
+    fn insert(&mut self, items: Itemset, count: u64) {
+        let bucket = self.by_count.entry(count).or_default();
+        if bucket.iter().any(|c| items.is_subset_of(c)) {
+            return;
+        }
+        // Drop previously stored sets this one subsumes (can happen when a
+        // larger closure is discovered later).
+        bucket.retain(|c| !c.is_subset_of(&items));
+        bucket.push(items);
+    }
+
+    fn into_vec(self) -> Vec<FrequentItemset> {
+        self.by_count
+            .into_iter()
+            .flat_map(|(count, sets)| {
+                sets.into_iter().map(move |items| FrequentItemset { items, count })
+            })
+            .collect()
+    }
+}
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is `a ⊆ b` for sorted tid lists?
+fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut bi = b.iter();
+    'outer: for &x in a {
+        for &y in bi.by_ref() {
+            match y.cmp(&x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[derive(Clone)]
+struct Node {
+    items: Itemset,
+    tids: Vec<u32>,
+}
+
+fn charm_extend(nodes: &mut [Node], min_cnt: u64, closed: &mut ClosedSets) {
+    // Process in increasing tidset size (standard CHARM order).
+    nodes.sort_by_key(|n| n.tids.len());
+    let mut consumed = vec![false; nodes.len()];
+    for i in 0..nodes.len() {
+        if consumed[i] {
+            continue;
+        }
+        let mut xi = nodes[i].items.clone();
+        let ti = nodes[i].tids.clone();
+        let mut children: Vec<Node> = Vec::new();
+        for j in (i + 1)..nodes.len() {
+            if consumed[j] {
+                continue;
+            }
+            let tj = &nodes[j].tids;
+            if ti.len() == tj.len() && is_subset(&ti, tj) {
+                // Property 1: identical tidsets — absorb and drop j.
+                xi = xi.union(&nodes[j].items);
+                consumed[j] = true;
+            } else if is_subset(&ti, tj) {
+                // Property 2: ti ⊂ tj — absorb, keep j's own subtree.
+                xi = xi.union(&nodes[j].items);
+            } else {
+                let t = intersect(&ti, tj);
+                if t.len() as u64 >= min_cnt {
+                    // Properties 3/4: open a child.
+                    children.push(Node { items: xi.union(&nodes[j].items), tids: t });
+                }
+            }
+        }
+        // Items absorbed after a child was created are still valid for it:
+        // child.tids ⊆ ti ⊆ tid(absorbed item), so union them in.
+        for c in &mut children {
+            c.items = c.items.union(&xi);
+        }
+        if !children.is_empty() {
+            charm_extend(&mut children, min_cnt, closed);
+        }
+        closed.insert(xi, ti.len() as u64);
+    }
+}
+
+impl Charm {
+    /// Mine all **closed** frequent itemsets. Deliberately *not* an
+    /// implementation of [`crate::Miner`]: that trait's contract is the
+    /// complete frequent collection, and closed sets are a strict subset
+    /// (compare against `filter::closed(FpGrowth::mine(..))`).
+    pub fn mine(&self, db: &TransactionDb) -> Vec<FrequentItemset> {
+        if db.is_empty() {
+            return Vec::new();
+        }
+        let min_cnt = min_count(self.min_support, db.len());
+        let mut roots: Vec<Node> = db
+            .tid_lists()
+            .into_iter()
+            .filter(|(_, tids)| tids.len() as u64 >= min_cnt)
+            .map(|(item, tids)| Node { items: Itemset::singleton(item as ItemId), tids })
+            .collect();
+        if roots.is_empty() {
+            return Vec::new();
+        }
+        let mut closed = ClosedSets::default();
+        charm_extend(&mut roots, min_cnt, &mut closed);
+        closed.into_vec()
+    }
+
+    /// The relative minimum support threshold.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter;
+    use crate::fpgrowth::FpGrowth;
+    use crate::itemset::sort_canonical;
+    use crate::Miner;
+
+    fn reference_closed(db: &TransactionDb, s: f64) -> Vec<FrequentItemset> {
+        let mut out = filter::closed(&FpGrowth::new(s).mine(db));
+        sort_canonical(&mut out);
+        out
+    }
+
+    fn charm_closed(db: &TransactionDb, s: f64) -> Vec<FrequentItemset> {
+        let mut out = Charm::new(s).mine(db);
+        sort_canonical(&mut out);
+        out
+    }
+
+    #[test]
+    fn textbook_example_matches_filtered_fpgrowth() {
+        let db = TransactionDb::from_rows(vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]);
+        assert_eq!(charm_closed(&db, 2.0 / 9.0), reference_closed(&db, 2.0 / 9.0));
+    }
+
+    #[test]
+    fn identical_transactions_collapse_to_one_closure() {
+        let db = TransactionDb::from_rows(vec![vec![1, 2, 3]; 5]);
+        let out = charm_closed(&db, 0.5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].items.items(), &[1, 2, 3]);
+        assert_eq!(out[0].count, 5);
+    }
+
+    #[test]
+    fn random_dbs_match_reference() {
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20 {
+            let rows: Vec<Vec<u32>> = (0..40)
+                .map(|_| {
+                    let len = (next() % 6) as usize;
+                    (0..len).map(|_| (next() % 8) as u32).collect()
+                })
+                .collect();
+            let db = TransactionDb::from_rows(rows);
+            for s in [0.1, 0.25, 0.5] {
+                assert_eq!(
+                    charm_closed(&db, s),
+                    reference_closed(&db, s),
+                    "trial {trial} support {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_infrequent_inputs() {
+        assert!(Charm::new(0.5).mine(&TransactionDb::default()).is_empty());
+        let db = TransactionDb::from_rows(vec![vec![1], vec![2], vec![3], vec![4]]);
+        assert!(Charm::new(0.5).mine(&db).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support must be in (0, 1]")]
+    fn rejects_bad_support() {
+        let _ = Charm::new(0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Eclat (Zaki, 1997/2000) — depth-first frequent-itemset mining over the
+//! vertical database layout (per-item transaction-id lists).
+//!
+//! Each itemset's support is the length of the intersection of its items'
+//! tid-lists; the search extends a prefix with items greater than its last
+//! item, intersecting tid-lists as it descends. Serves as a second
+//! independent baseline against FP-Growth.
+
+use crate::itemset::{FrequentItemset, ItemId, Itemset};
+use crate::transaction::TransactionDb;
+use crate::{min_count, Miner};
+
+/// The Eclat miner. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Eclat {
+    min_support: f64,
+}
+
+impl Eclat {
+    /// Create a miner with a relative minimum support in `(0, 1]`.
+    pub fn new(min_support: f64) -> Self {
+        assert!(
+            min_support > 0.0 && min_support <= 1.0,
+            "min_support must be in (0, 1], got {min_support}"
+        );
+        Eclat { min_support }
+    }
+}
+
+/// Sorted-list intersection.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn dfs(
+    prefix: &mut Vec<ItemId>,
+    candidates: &[(ItemId, Vec<u32>)],
+    min_cnt: u64,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for (idx, (item, tids)) in candidates.iter().enumerate() {
+        prefix.push(*item);
+        out.push(FrequentItemset {
+            items: Itemset::from_sorted(prefix.clone()),
+            count: tids.len() as u64,
+        });
+        // Extensions: items after this one, with intersected tid-lists.
+        let mut next: Vec<(ItemId, Vec<u32>)> = Vec::new();
+        for (other, other_tids) in &candidates[idx + 1..] {
+            let joined = intersect(tids, other_tids);
+            if joined.len() as u64 >= min_cnt {
+                next.push((*other, joined));
+            }
+        }
+        if !next.is_empty() {
+            dfs(prefix, &next, min_cnt, out);
+        }
+        prefix.pop();
+    }
+}
+
+impl Miner for Eclat {
+    fn mine(&self, db: &TransactionDb) -> Vec<FrequentItemset> {
+        if db.is_empty() {
+            return Vec::new();
+        }
+        let min_cnt = min_count(self.min_support, db.len());
+        let mut roots: Vec<(ItemId, Vec<u32>)> = db
+            .tid_lists()
+            .into_iter()
+            .filter(|(_, tids)| tids.len() as u64 >= min_cnt)
+            .collect();
+        roots.sort_by_key(|&(item, _)| item);
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        dfs(&mut prefix, &roots, min_cnt, &mut out);
+        out
+    }
+
+    fn min_support(&self) -> f64 {
+        self.min_support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::FpGrowth;
+    use crate::itemset::sort_canonical;
+
+    #[test]
+    fn intersect_merges_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn matches_fpgrowth_on_textbook_data() {
+        let rows = vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ];
+        let db = TransactionDb::from_rows(rows);
+        let mut e = Eclat::new(2.0 / 9.0).mine(&db);
+        let mut f = FpGrowth::new(2.0 / 9.0).mine(&db);
+        sort_canonical(&mut e);
+        sort_canonical(&mut f);
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        assert!(Eclat::new(0.3).mine(&TransactionDb::default()).is_empty());
+    }
+
+    #[test]
+    fn deep_itemsets_found() {
+        let db = TransactionDb::from_rows(vec![vec![1, 2, 3, 4]; 5]);
+        let out = Eclat::new(1.0).mine(&db);
+        assert_eq!(out.len(), 15, "2^4 - 1 subsets");
+        assert!(out.iter().all(|f| f.count == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support must be in (0, 1]")]
+    fn rejects_negative_support() {
+        let _ = Eclat::new(-0.1);
+    }
+}

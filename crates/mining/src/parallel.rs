@@ -1,0 +1,199 @@
+//! Multi-threaded FP-Growth.
+//!
+//! The frequent-itemset search space partitions cleanly by the *last* item
+//! (in frequency-rank order) of each itemset: patterns ending at rank `r`
+//! are exactly the patterns found by mining `r`'s conditional tree under
+//! suffix `{r}`. The global FP-tree is built once (sequentially — it is a
+//! single linear pass) and shared read-only; worker threads then claim
+//! ranks round-robin and mine their conditional trees independently.
+//!
+//! The output is the same complete collection [`crate::fpgrowth::FpGrowth`]
+//! produces (asserted by the cross-check tests), in unspecified order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::fpgrowth::{conditional_tree, mine_tree, FpTree};
+use crate::itemset::{FrequentItemset, ItemId, Itemset};
+use crate::transaction::TransactionDb;
+use crate::{min_count, Miner};
+
+/// Parallel FP-Growth over `n_threads` workers.
+#[derive(Debug, Clone)]
+pub struct ParallelFpGrowth {
+    min_support: f64,
+    n_threads: usize,
+}
+
+impl ParallelFpGrowth {
+    /// Create a miner with a relative minimum support and a thread count
+    /// (clamped to at least 1).
+    pub fn new(min_support: f64, n_threads: usize) -> Self {
+        assert!(
+            min_support > 0.0 && min_support <= 1.0,
+            "min_support must be in (0, 1], got {min_support}"
+        );
+        ParallelFpGrowth { min_support, n_threads: n_threads.max(1) }
+    }
+
+    /// A miner sized to the machine's available parallelism.
+    pub fn with_available_parallelism(min_support: f64) -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(min_support, n)
+    }
+}
+
+impl Miner for ParallelFpGrowth {
+    fn mine(&self, db: &TransactionDb) -> Vec<FrequentItemset> {
+        if db.is_empty() {
+            return Vec::new();
+        }
+        let min_cnt = min_count(self.min_support, db.len());
+
+        let counts = db.item_counts();
+        let mut frequent: Vec<(ItemId, u64)> =
+            counts.into_iter().filter(|&(_, c)| c >= min_cnt).collect();
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        if frequent.is_empty() {
+            return Vec::new();
+        }
+        let rank: HashMap<ItemId, u32> = frequent
+            .iter()
+            .enumerate()
+            .map(|(i, &(item, _))| (item, i as u32))
+            .collect();
+        let items_by_rank: Vec<ItemId> = frequent.iter().map(|&(it, _)| it).collect();
+
+        let mut tree = FpTree::new(frequent.len());
+        let mut encoded: Vec<u32> = Vec::new();
+        for row in db.rows() {
+            encoded.clear();
+            encoded.extend(row.iter().filter_map(|it| rank.get(it).copied()));
+            encoded.sort_unstable();
+            tree.insert(&encoded, 1);
+        }
+
+        let n_ranks = frequent.len() as u32;
+        let next_rank = AtomicU32::new(0);
+        let tree_ref = &tree;
+        let items_ref = &items_by_rank;
+
+        let mut chunks: Vec<Vec<FrequentItemset>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..self.n_threads)
+                .map(|_| {
+                    let next = &next_rank;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<FrequentItemset> = Vec::new();
+                        let mut suffix: Vec<u32> = Vec::new();
+                        loop {
+                            let r = next.fetch_add(1, Ordering::Relaxed);
+                            if r >= n_ranks {
+                                break;
+                            }
+                            let total = tree_ref.totals[r as usize];
+                            if total < min_cnt {
+                                continue;
+                            }
+                            suffix.clear();
+                            suffix.push(r);
+                            let mut emit = |ranks: &[u32], count: u64| {
+                                let mut items: Vec<ItemId> = ranks
+                                    .iter()
+                                    .map(|&rr| items_ref[rr as usize])
+                                    .collect();
+                                items.sort_unstable();
+                                local.push(FrequentItemset {
+                                    items: Itemset::from_sorted(items),
+                                    count,
+                                });
+                            };
+                            emit(&suffix, total);
+                            if let Some(cond) = conditional_tree(tree_ref, r, min_cnt) {
+                                mine_tree(&cond, min_cnt, None, &mut suffix, &mut emit);
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                chunks.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        chunks.into_iter().flatten().collect()
+    }
+
+    fn min_support(&self) -> f64 {
+        self.min_support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::FpGrowth;
+    use crate::itemset::sort_canonical;
+
+    fn random_db(seed: u64, n: usize, universe: u32, avg_len: usize) -> TransactionDb {
+        // Tiny xorshift so the test needs no extra dev-dependency here.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let rows = (0..n)
+            .map(|_| {
+                let len = (next() as usize % (2 * avg_len)).max(1);
+                (0..len).map(|_| (next() % universe as u64) as u32).collect()
+            })
+            .collect();
+        TransactionDb::from_rows(rows)
+    }
+
+    #[test]
+    fn matches_sequential_fpgrowth() {
+        for seed in [1u64, 42, 1234] {
+            let db = random_db(seed, 300, 20, 6);
+            let mut seq = FpGrowth::new(0.1).mine(&db);
+            let mut par = ParallelFpGrowth::new(0.1, 4).mine(&db);
+            sort_canonical(&mut seq);
+            sort_canonical(&mut par);
+            assert_eq!(seq, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_thread_degenerates_gracefully() {
+        let db = random_db(7, 100, 10, 4);
+        let mut seq = FpGrowth::new(0.2).mine(&db);
+        let mut par = ParallelFpGrowth::new(0.2, 1).mine(&db);
+        sort_canonical(&mut seq);
+        sort_canonical(&mut par);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let db = TransactionDb::from_rows(vec![vec![1, 2], vec![1, 2], vec![2]]);
+        let mut par = ParallelFpGrowth::new(0.5, 32).mine(&db);
+        sort_canonical(&mut par);
+        assert_eq!(par.len(), 3); // {1}, {2}, {1,2}
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        assert!(ParallelFpGrowth::new(0.5, 4).mine(&TransactionDb::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let m = ParallelFpGrowth::new(0.5, 0);
+        let db = TransactionDb::from_rows(vec![vec![1], vec![1]]);
+        assert_eq!(m.mine(&db).len(), 1);
+    }
+}

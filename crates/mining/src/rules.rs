@@ -1,0 +1,214 @@
+//! Association-rule induction from frequent itemsets (Agrawal et al.,
+//! "Fast algorithms for mining association rules", VLDB 1994 — reference
+//! [1] of the paper).
+//!
+//! For every frequent itemset `Z` and every non-trivial split
+//! `Z = A ∪ B`, the rule `A ⇒ B` is scored by:
+//!
+//! * **confidence** `supp(Z) / supp(A)`;
+//! * **lift** `conf / supp(B)` (how much more often than independence);
+//! * **leverage** `supp(Z) − supp(A)·supp(B)`;
+//! * **conviction** `(1 − supp(B)) / (1 − conf)` (∞ for exact rules).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::itemset::{FrequentItemset, ItemId, Itemset};
+
+/// One association rule `antecedent ⇒ consequent` with its metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociationRule {
+    /// Left-hand side.
+    pub antecedent: Itemset,
+    /// Right-hand side (disjoint from the antecedent).
+    pub consequent: Itemset,
+    /// Relative support of the union.
+    pub support: f64,
+    /// `supp(A∪B) / supp(A)`.
+    pub confidence: f64,
+    /// `confidence / supp(B)`.
+    pub lift: f64,
+    /// `supp(A∪B) − supp(A)·supp(B)`.
+    pub leverage: f64,
+    /// `(1 − supp(B)) / (1 − confidence)`; `f64::INFINITY` when
+    /// confidence is 1.
+    pub conviction: f64,
+}
+
+/// Configuration for rule induction.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Minimum confidence for an emitted rule.
+    pub min_confidence: f64,
+    /// Minimum lift for an emitted rule (1.0 = no filter beyond
+    /// independence).
+    pub min_lift: f64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig { min_confidence: 0.5, min_lift: 0.0 }
+    }
+}
+
+/// Induce rules from a complete set of frequent itemsets.
+///
+/// `n_transactions` converts counts to relative supports. Itemsets whose
+/// subsets are missing from `itemsets` (i.e. an incomplete collection) are
+/// skipped rather than mis-scored.
+pub fn induce_rules(
+    itemsets: &[FrequentItemset],
+    n_transactions: usize,
+    config: &RuleConfig,
+) -> Vec<AssociationRule> {
+    if n_transactions == 0 {
+        return Vec::new();
+    }
+    let support_of: HashMap<&[ItemId], u64> =
+        itemsets.iter().map(|f| (f.items.items(), f.count)).collect();
+    let n = n_transactions as f64;
+    let mut rules = Vec::new();
+
+    for f in itemsets.iter().filter(|f| f.items.len() >= 2) {
+        let union_supp = f.count as f64 / n;
+        let items = f.items.items();
+        // Enumerate proper, non-empty antecedent subsets by bitmask.
+        let k = items.len();
+        debug_assert!(k < 32, "itemset too large for rule enumeration");
+        for mask in 1u32..((1u32 << k) - 1) {
+            let mut ante = Vec::new();
+            let mut cons = Vec::new();
+            for (i, &item) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    ante.push(item);
+                } else {
+                    cons.push(item);
+                }
+            }
+            let (Some(&ante_cnt), Some(&cons_cnt)) =
+                (support_of.get(ante.as_slice()), support_of.get(cons.as_slice()))
+            else {
+                continue; // incomplete input collection
+            };
+            let ante_supp = ante_cnt as f64 / n;
+            let cons_supp = cons_cnt as f64 / n;
+            let confidence = union_supp / ante_supp;
+            if confidence < config.min_confidence {
+                continue;
+            }
+            let lift = confidence / cons_supp;
+            if lift < config.min_lift {
+                continue;
+            }
+            let leverage = union_supp - ante_supp * cons_supp;
+            let conviction = if (1.0 - confidence).abs() < 1e-12 {
+                f64::INFINITY
+            } else {
+                (1.0 - cons_supp) / (1.0 - confidence)
+            };
+            rules.push(AssociationRule {
+                antecedent: Itemset::from_sorted(ante),
+                consequent: Itemset::from_sorted(cons),
+                support: union_supp,
+                confidence,
+                lift,
+                leverage,
+                conviction,
+            });
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.lift.partial_cmp(&a.lift).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::FpGrowth;
+    use crate::transaction::TransactionDb;
+    use crate::Miner;
+
+    fn rules_for(rows: Vec<Vec<ItemId>>, min_conf: f64) -> (Vec<AssociationRule>, usize) {
+        let db = TransactionDb::from_rows(rows);
+        let itemsets = FpGrowth::new(0.25).mine(&db);
+        let cfg = RuleConfig { min_confidence: min_conf, min_lift: 0.0 };
+        (induce_rules(&itemsets, db.len(), &cfg), db.len())
+    }
+
+    #[test]
+    fn perfect_implication_has_confidence_one_and_infinite_conviction() {
+        // 2 always follows 1.
+        let (rules, _) = rules_for(vec![vec![1, 2], vec![1, 2], vec![2], vec![3]], 0.9);
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent.items() == [1] && r.consequent.items() == [2])
+            .expect("rule 1 => 2");
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!(r.conviction.is_infinite());
+        // supp(2) = 3/4, lift = 1 / 0.75
+        assert!((r.lift - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_filter_applies() {
+        let (high, _) = rules_for(vec![vec![1, 2], vec![1], vec![1], vec![1]], 0.9);
+        assert!(high.iter().all(|r| r.confidence >= 0.9));
+        // 1 => 2 has confidence 0.25 and is excluded at 0.9 ...
+        assert!(!high
+            .iter()
+            .any(|r| r.antecedent.items() == [1] && r.consequent.items() == [2]));
+        // ... and included at 0.2.
+        let (low, _) = rules_for(vec![vec![1, 2], vec![1], vec![1], vec![1]], 0.2);
+        assert!(low
+            .iter()
+            .any(|r| r.antecedent.items() == [1] && r.consequent.items() == [2]));
+    }
+
+    #[test]
+    fn independence_has_lift_one_and_zero_leverage() {
+        // 1 and 2 occur independently: supp(1)=.5, supp(2)=.5, supp(12)=.25.
+        let rows = vec![vec![1, 2], vec![1], vec![2], vec![]];
+        let (rules, _) = rules_for(rows, 0.1);
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent.items() == [1] && r.consequent.items() == [2])
+            .expect("rule");
+        assert!((r.lift - 1.0).abs() < 1e-12);
+        assert!(r.leverage.abs() < 1e-12);
+        assert!((r.conviction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_come_out_sorted_by_confidence() {
+        let (rules, _) = rules_for(
+            vec![vec![1, 2], vec![1, 2], vec![2, 3], vec![3]],
+            0.1,
+        );
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(induce_rules(&[], 10, &RuleConfig::default()).is_empty());
+        assert!(induce_rules(&[], 0, &RuleConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn three_item_sets_generate_all_splits() {
+        let rows = vec![vec![1, 2, 3]; 4];
+        let db = TransactionDb::from_rows(rows);
+        let itemsets = FpGrowth::new(0.5).mine(&db);
+        let rules = induce_rules(&itemsets, db.len(), &RuleConfig::default());
+        // {1,2} has 2 splits, {1,3} 2, {2,3} 2, {1,2,3} 6 -> 12 rules.
+        assert_eq!(rules.len(), 12);
+        assert!(rules.iter().all(|r| (r.confidence - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,280 @@
+//! Top-k frequent itemset mining — find the `k` most frequent itemsets
+//! without choosing a support threshold up front.
+//!
+//! The paper fixes support at 0.2 as a noise/coverage trade-off; top-k
+//! mining is the standard alternative when the right threshold is unknown
+//! (in the spirit of Han et al., "Mining top-k frequent closed patterns
+//! without minimum support", ICDM 2002 — here over all itemsets, with an
+//! optional minimum-length filter). The search is an Eclat-style DFS over
+//! tid-lists with a dynamically *rising* internal threshold: once `k`
+//! itemsets are held, a branch whose tid-list is no larger than the
+//! current k-th best count cannot improve the result and is pruned.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::itemset::{FrequentItemset, ItemId, Itemset};
+use crate::transaction::TransactionDb;
+
+/// Heap entry: min-heap by count; among equal counts the *largest*
+/// tie-break key (longer / lexicographically later itemset) is evicted
+/// first, so the kept set is deterministic.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    count: u64,
+    tie: Reverse<(usize, Vec<ItemId>)>,
+}
+
+type Heap = BinaryHeap<Reverse<Entry>>;
+
+/// Top-k miner. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    min_len: usize,
+}
+
+impl TopK {
+    /// Mine the `k` most frequent itemsets.
+    ///
+    /// # Panics
+    /// If `k` is 0.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        TopK { k, min_len: 1 }
+    }
+
+    /// Only consider itemsets with at least `min_len` items (e.g. 2 to
+    /// skip the trivially frequent singletons).
+    ///
+    /// # Panics
+    /// If `min_len` is 0.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        assert!(min_len >= 1);
+        self.min_len = min_len;
+        self
+    }
+
+    /// Run the search. Results are sorted by descending count, ties by
+    /// length then items ascending. Returns fewer than `k` itemsets when
+    /// the database doesn't contain that many (with `count ≥ 1`).
+    pub fn mine(&self, db: &TransactionDb) -> Vec<FrequentItemset> {
+        if db.is_empty() {
+            return Vec::new();
+        }
+        // Dense-first candidate order: exploring high-support branches
+        // first fills the heap quickly, which raises the pruning bound
+        // before the sparse tail is visited (ties broken by item id for
+        // determinism).
+        let mut roots: Vec<(ItemId, Vec<u32>)> = db.tid_lists().into_iter().collect();
+        roots.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+
+        let mut heap: Heap = BinaryHeap::new();
+        // Seed the bound with the singletons up front (they are the
+        // cheapest itemsets to score and include the global top-1).
+        if self.min_len == 1 {
+            for (item, tids) in &roots {
+                offer(&mut heap, self.k, vec![*item], tids.len() as u64);
+            }
+        }
+        let mut prefix: Vec<ItemId> = Vec::new();
+        dfs(&roots, &mut prefix, self.k, self.min_len, &mut heap);
+
+        let mut out: Vec<FrequentItemset> = heap
+            .into_iter()
+            .map(|Reverse(Entry { count, tie: Reverse((_, items)) })| FrequentItemset {
+                items: Itemset::from_sorted(items),
+                count,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(a.items.len().cmp(&b.items.len()))
+                .then(a.items.items().cmp(b.items.items()))
+        });
+        out
+    }
+}
+
+/// The rising bound: once the heap holds `k` entries, only counts strictly
+/// above the weakest kept entry can improve the result.
+fn bound(heap: &Heap, k: usize) -> u64 {
+    if heap.len() < k {
+        1
+    } else {
+        heap.peek().map_or(1, |Reverse(e)| e.count)
+    }
+}
+
+fn offer(heap: &mut Heap, k: usize, mut items: Vec<ItemId>, count: u64) {
+    // Canonical form: the DFS explores in dense-first (not id) order, so
+    // prefixes arrive unsorted; the tie-break and output need sorted items.
+    items.sort_unstable();
+    let entry = Entry { count, tie: Reverse((items.len(), items)) };
+    if heap.len() < k {
+        heap.push(Reverse(entry));
+    } else if let Some(Reverse(weakest)) = heap.peek() {
+        // Replace when strictly better under the heap's total order.
+        if entry > *weakest {
+            heap.pop();
+            heap.push(Reverse(entry));
+        }
+    }
+}
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn dfs(
+    candidates: &[(ItemId, Vec<u32>)],
+    prefix: &mut Vec<ItemId>,
+    k: usize,
+    min_len: usize,
+    heap: &mut Heap,
+) {
+    for (idx, (item, tids)) in candidates.iter().enumerate() {
+        let count = tids.len() as u64;
+        // Prune: neither this itemset nor any superset (supports only
+        // shrink) can beat the current k-th best.
+        if count < bound(heap, k) {
+            continue;
+        }
+        prefix.push(*item);
+        // Singletons were seeded before the DFS when min_len == 1; offering
+        // them again would duplicate heap entries.
+        if prefix.len() >= min_len && !(min_len == 1 && prefix.len() == 1) {
+            offer(heap, k, prefix.clone(), count);
+        }
+        let mut next: Vec<(ItemId, Vec<u32>)> = Vec::new();
+        for (other, other_tids) in &candidates[idx + 1..] {
+            let joined = intersect(tids, other_tids);
+            if joined.len() as u64 >= bound(heap, k).max(1) {
+                next.push((*other, joined));
+            }
+        }
+        if !next.is_empty() {
+            dfs(&next, prefix, k, min_len, heap);
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::FpGrowth;
+    use crate::Miner;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_rows(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3],
+            vec![4],
+        ])
+    }
+
+    /// Brute-force reference: mine everything at support ~0, sort the
+    /// same way, take the first k.
+    fn brute_topk(db: &TransactionDb, k: usize, min_len: usize) -> Vec<FrequentItemset> {
+        let mut all: Vec<FrequentItemset> = FpGrowth::new(1e-9)
+            .mine(db)
+            .into_iter()
+            .filter(|f| f.items.len() >= min_len)
+            .collect();
+        all.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(a.items.len().cmp(&b.items.len()))
+                .then(a.items.items().cmp(b.items.items()))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_db() {
+        let db = db();
+        for k in [1, 2, 3, 5, 10, 50] {
+            assert_eq!(TopK::new(k).mine(&db), brute_topk(&db, k, 1), "k={k}");
+        }
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let db = db();
+        let got = TopK::new(3).with_min_len(2).mine(&db);
+        assert_eq!(got, brute_topk(&db, 3, 2));
+        assert!(got.iter().all(|f| f.items.len() >= 2));
+        // The strongest pair is {1,2} with count 3.
+        assert_eq!(got[0].items.items(), &[1, 2]);
+        assert_eq!(got[0].count, 3);
+    }
+
+    #[test]
+    fn top1_is_most_frequent_item() {
+        let got = TopK::new(1).mine(&db());
+        assert_eq!(got.len(), 1);
+        // Items 1 and 2 both have count 4; tie-break prefers item 1.
+        assert_eq!(got[0].items.items(), &[1]);
+        assert_eq!(got[0].count, 4);
+    }
+
+    #[test]
+    fn fewer_results_than_k_when_db_is_small() {
+        let tiny = TransactionDb::from_rows(vec![vec![1]]);
+        let got = TopK::new(10).mine(&tiny);
+        assert_eq!(got.len(), 1);
+        assert!(TopK::new(3).mine(&TransactionDb::default()).is_empty());
+    }
+
+    #[test]
+    fn randomised_cross_check() {
+        // Deterministic pseudo-random db, cross-checked against brute force.
+        let mut state = 0xBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let rows: Vec<Vec<u32>> = (0..60)
+            .map(|_| {
+                let len = (next() % 5 + 1) as usize;
+                (0..len).map(|_| (next() % 9) as u32).collect()
+            })
+            .collect();
+        let db = TransactionDb::from_rows(rows);
+        for k in [1, 4, 12, 30] {
+            assert_eq!(TopK::new(k).mine(&db), brute_topk(&db, k, 1), "k={k}");
+            assert_eq!(
+                TopK::new(k).with_min_len(2).mine(&db),
+                brute_topk(&db, k, 2),
+                "k={k} min_len=2"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = TopK::new(0);
+    }
+}

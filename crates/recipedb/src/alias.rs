@@ -1,0 +1,258 @@
+//! Ingredient alias normalization — the paper's future-work item
+//! ("Among one of the limitations of this study, it neither considers the
+//! state of ingredients nor their aliases").
+//!
+//! An [`AliasTable`] maps synonym ingredient names to a canonical name
+//! ("green onion" and "scallion" are the same plant; "garlic clove" is a
+//! unit of "garlic"). [`apply`] rewrites a corpus so each alias group
+//! shares one ingredient id, which merges their supports — exactly the
+//! effect alias-unaware mining misses. The `ext2` experiment measures how
+//! much the cuisine trees move when aliases are merged.
+
+use std::collections::HashMap;
+
+use crate::cuisine::Cuisine;
+use crate::model::IngredientId;
+use crate::store::{RecipeDb, RecipeDbBuilder};
+
+/// A synonym → canonical ingredient-name mapping.
+#[derive(Debug, Clone, Default)]
+pub struct AliasTable {
+    /// alias name → canonical name.
+    map: HashMap<String, String>,
+}
+
+impl AliasTable {
+    /// An empty table (identity normalization).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A default table of common culinary aliases, several of which occur
+    /// in the synthetic corpus's signature and pool vocabularies.
+    pub fn culinary_defaults() -> Self {
+        let mut t = AliasTable::new();
+        for (alias, canonical) in [
+            // Present in the synthetic corpus (motifs/pools):
+            ("green onion", "scallion"),
+            ("garlic clove", "garlic"),
+            ("ghee butter", "ghee"),
+            ("coconut cream", "coconut milk"),
+            ("tomato paste", "tomato"),
+            ("sun-dried tomato", "tomato"),
+            ("rosemary sprig", "rosemary"),
+            ("juniper berry", "juniper"),
+            ("mozzarella ball", "mozzarella"),
+            ("ricotta curd", "ricotta"),
+            // Classic cross-cuisine synonyms:
+            ("cilantro", "coriander leaf"),
+            ("capsicum", "bell pepper"),
+            ("aubergine", "eggplant"),
+            ("courgette", "zucchini"),
+            ("garbanzo beans", "chickpeas"),
+            ("spring onion", "scallion"),
+            ("corn starch", "cornstarch"),
+            ("powdered sugar", "confectioners sugar"),
+        ] {
+            t.add(alias, canonical);
+        }
+        t
+    }
+
+    /// Register `alias → canonical`. Chains are flattened: if `canonical`
+    /// is itself an alias, the final target is used.
+    pub fn add(&mut self, alias: &str, canonical: &str) {
+        let target = self.canonical(canonical).to_owned();
+        assert_ne!(alias, target, "self-alias {alias:?}");
+        // Flatten anything already pointing at `alias`.
+        for v in self.map.values_mut() {
+            if v == alias {
+                v.clone_from(&target);
+            }
+        }
+        self.map.insert(alias.to_owned(), target);
+    }
+
+    /// Resolve a name to its canonical form (identity for non-aliases).
+    pub fn canonical<'a>(&'a self, name: &'a str) -> &'a str {
+        self.map.get(name).map_or(name, String::as_str)
+    }
+
+    /// Whether `name` is a registered alias.
+    pub fn is_alias(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Number of registered aliases.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate `(alias, canonical)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(a, c)| (a.as_str(), c.as_str()))
+    }
+}
+
+/// Rewrite a corpus with aliases merged: every ingredient is replaced by
+/// its canonical form (processes and utensils are untouched). Recipes keep
+/// their ids, names and cuisines; merged duplicates within a recipe
+/// collapse to one occurrence.
+pub fn apply(db: &RecipeDb, aliases: &AliasTable) -> RecipeDb {
+    let mut builder = RecipeDbBuilder::new();
+    // Old ingredient id → new ingredient id under canonicalisation.
+    let remap: HashMap<IngredientId, IngredientId> = db
+        .catalog()
+        .ingredients()
+        .map(|(old_id, name)| {
+            let canonical = aliases.canonical(name);
+            (old_id, builder.catalog_mut().intern_ingredient(canonical))
+        })
+        .collect();
+    // Processes/utensils copied verbatim (ids preserved because the
+    // original interning order is replayed).
+    let proc_names: Vec<String> = db.catalog().processes().map(|(_, n)| n.to_owned()).collect();
+    for n in &proc_names {
+        builder.catalog_mut().intern_process(n);
+    }
+    let ute_names: Vec<String> = db.catalog().utensils().map(|(_, n)| n.to_owned()).collect();
+    for n in &ute_names {
+        builder.catalog_mut().intern_utensil(n);
+    }
+
+    for recipe in db.recipes() {
+        let ingredients: Vec<IngredientId> = recipe
+            .ingredients
+            .iter()
+            .map(|id| remap[id])
+            .collect();
+        builder.add_recipe(
+            recipe.name.clone(),
+            recipe.cuisine,
+            ingredients,
+            recipe.processes.clone(),
+            recipe.utensils.clone(),
+        );
+    }
+    builder.build().expect("alias rewrite preserves invariants")
+}
+
+/// How many recipes per cuisine contain each of an alias pair — useful
+/// for reporting what a merge changed.
+pub fn alias_impact(db: &RecipeDb, aliases: &AliasTable) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (alias, canonical) in aliases.iter() {
+        if let (Some(a), Some(_)) = (db.catalog().ingredient(alias), db.catalog().ingredient(canonical)) {
+            let affected: usize = Cuisine::ALL
+                .iter()
+                .map(|&c| db.recipes_containing(crate::model::Item::Ingredient(a), Some(c)))
+                .sum();
+            if affected > 0 {
+                out.push((alias.to_owned(), canonical.to_owned(), affected));
+            }
+        }
+    }
+    out.sort_by_key(|x| std::cmp::Reverse(x.2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusGenerator, GeneratorConfig};
+    use crate::model::Item;
+
+    #[test]
+    fn canonical_resolution_and_chains() {
+        let mut t = AliasTable::new();
+        t.add("spring onion", "scallion");
+        t.add("green onion", "spring onion"); // chain -> scallion
+        assert_eq!(t.canonical("green onion"), "scallion");
+        assert_eq!(t.canonical("spring onion"), "scallion");
+        assert_eq!(t.canonical("scallion"), "scallion");
+        assert_eq!(t.canonical("salt"), "salt");
+        assert!(t.is_alias("green onion"));
+        assert!(!t.is_alias("scallion"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn chain_flattening_updates_existing_entries() {
+        let mut t = AliasTable::new();
+        t.add("a", "b");
+        t.add("b", "c"); // "a" must now resolve to "c"
+        assert_eq!(t.canonical("a"), "c");
+        assert_eq!(t.canonical("b"), "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-alias")]
+    fn self_alias_rejected() {
+        let mut t = AliasTable::new();
+        t.add("x", "x");
+    }
+
+    #[test]
+    fn apply_merges_supports() {
+        let mut cfg = GeneratorConfig::paper_scale(0.02).with_seed(5);
+        cfg.min_recipes_per_cuisine = 200;
+        let db = CorpusGenerator::new(cfg).generate();
+        let merged = apply(&db, &AliasTable::culinary_defaults());
+
+        assert_eq!(merged.recipe_count(), db.recipe_count());
+        // "green onion" (Korean motif) and "scallion" (East-Asia pool) are
+        // separate before and one item after.
+        assert!(db.catalog().ingredient("green onion").is_some());
+        assert!(db.catalog().ingredient("scallion").is_some());
+        assert!(merged.catalog().ingredient("green onion").is_none());
+        let scallion = merged.catalog().ingredient("scallion").expect("canonical kept");
+
+        // Merged support >= each original support, and equals the count of
+        // recipes containing either original.
+        let c = Cuisine::Korean;
+        let before_go = db.recipes_containing(
+            Item::Ingredient(db.catalog().ingredient("green onion").unwrap()),
+            Some(c),
+        );
+        let after = merged.recipes_containing(Item::Ingredient(scallion), Some(c));
+        assert!(after >= before_go, "merging cannot lose recipes");
+
+        // Ingredient universe shrinks by the number of in-use aliases.
+        assert!(merged.catalog().ingredient_count() < db.catalog().ingredient_count());
+    }
+
+    #[test]
+    fn apply_with_empty_table_is_identity_on_structure() {
+        let mut cfg = GeneratorConfig::paper_scale(0.01).with_seed(5);
+        cfg.min_recipes_per_cuisine = 60;
+        let db = CorpusGenerator::new(cfg).generate();
+        let same = apply(&db, &AliasTable::new());
+        assert_eq!(same.recipe_count(), db.recipe_count());
+        assert_eq!(same.catalog().ingredient_count(), db.catalog().ingredient_count());
+        for (a, b) in db.recipes().zip(same.recipes()) {
+            assert_eq!(a.ingredients.len(), b.ingredients.len());
+            assert_eq!(a.cuisine, b.cuisine);
+        }
+    }
+
+    #[test]
+    fn alias_impact_reports_in_use_aliases() {
+        let mut cfg = GeneratorConfig::paper_scale(0.02).with_seed(5);
+        cfg.min_recipes_per_cuisine = 200;
+        let db = CorpusGenerator::new(cfg).generate();
+        let impact = alias_impact(&db, &AliasTable::culinary_defaults());
+        assert!(
+            impact.iter().any(|(a, _, _)| a == "green onion"),
+            "green onion is used by the Korean motif: {impact:?}"
+        );
+        // Sorted descending by affected recipes.
+        for w in impact.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for recipe store and IO operations.
+
+use std::fmt;
+
+/// Errors produced by [`crate::store::RecipeDb`] operations and corpus IO.
+#[derive(Debug)]
+pub enum RecipeDbError {
+    /// A recipe referenced an ingredient/process/utensil id that is not in
+    /// the catalog.
+    DanglingReference {
+        /// The offending recipe.
+        recipe: crate::model::RecipeId,
+        /// Description of the missing reference.
+        detail: String,
+    },
+    /// A recipe id did not match its position in the store.
+    InconsistentId {
+        /// Expected id (position in the store).
+        expected: u32,
+        /// Id found on the recipe.
+        found: u32,
+    },
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for RecipeDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeDbError::DanglingReference { recipe, detail } => {
+                write!(f, "recipe {} has a dangling reference: {detail}", recipe.0)
+            }
+            RecipeDbError::InconsistentId { expected, found } => {
+                write!(f, "recipe id {found} does not match its position {expected}")
+            }
+            RecipeDbError::Io(e) => write!(f, "io error: {e}"),
+            RecipeDbError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecipeDbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecipeDbError::Io(e) => Some(e),
+            RecipeDbError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RecipeDbError {
+    fn from(e: std::io::Error) -> Self {
+        RecipeDbError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for RecipeDbError {
+    fn from(e: serde_json::Error) -> Self {
+        RecipeDbError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RecipeId;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = RecipeDbError::DanglingReference {
+            recipe: RecipeId(3),
+            detail: "ingredient 99".into(),
+        };
+        assert!(e.to_string().contains("recipe 3"));
+        let e = RecipeDbError::InconsistentId { expected: 1, found: 2 };
+        assert!(e.to_string().contains("position 1"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: RecipeDbError = io.into();
+        assert!(matches!(e, RecipeDbError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,251 @@
+//! A flavor-compound substrate in the spirit of Ahn et al.'s *Flavor
+//! network and the principles of food pairing* (Scientific Reports 2011)
+//! — the paper's reference [2] and the source of its authenticity metric.
+//!
+//! Ahn et al. attach to every ingredient the set of flavor compounds it
+//! contains; two ingredients "pair" when they share compounds, and a
+//! cuisine exhibits *positive food pairing* when its recipes combine
+//! compound-sharing ingredients more than chance (North-American /
+//! Western European cuisines) and *negative pairing* when they avoid it
+//! (East Asian; Jain et al. 2015 found the same for Indian food).
+//!
+//! The real compound table (Fenaroli's handbook) is proprietary, so this
+//! module synthesizes one deterministically: compounds are organized into
+//! **flavor families** aligned with the corpus's regional pools, every
+//! ingredient hashes to a family (its pool, when it has one) and draws a
+//! deterministic subset of family compounds plus a few universal ones.
+//! Because family membership follows the regional pools, the synthetic
+//! table preserves the property the analyses need: ingredients that
+//! co-occur within a culinary block share more compounds than random
+//! cross-block pairs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::generator::pools;
+use crate::model::IngredientId;
+use crate::store::RecipeDb;
+
+/// A flavor-compound identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompoundId(pub u32);
+
+/// Number of compounds per flavor family.
+const FAMILY_SIZE: u32 = 50;
+/// Universal compounds shared across all families (water-soluble basics).
+const UNIVERSAL: u32 = 30;
+/// Compounds drawn from the ingredient's family.
+const PER_INGREDIENT_FAMILY: usize = 12;
+/// Universal compounds drawn per ingredient.
+const PER_INGREDIENT_UNIVERSAL: usize = 4;
+
+/// Deterministic FNV-1a hash (stable across runs and platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The synthetic ingredient → compound-set table.
+#[derive(Debug, Clone)]
+pub struct FlavorTable {
+    compounds: HashMap<IngredientId, Vec<CompoundId>>,
+}
+
+impl FlavorTable {
+    /// Build the table for every ingredient of a corpus. Deterministic:
+    /// depends only on ingredient names.
+    pub fn synthesize(db: &RecipeDb) -> Self {
+        // Family index per pool name; tail ingredients hash to a family.
+        let family_of_pool: HashMap<&str, u32> = pools::ALL_POOLS
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        let n_families = pools::ALL_POOLS.len() as u32 + 6; // + generic families
+        // Reverse map: ingredient name -> its pool family (if pooled).
+        let mut pool_member: HashMap<&str, u32> = HashMap::new();
+        for &pool in pools::ALL_POOLS {
+            for &name in pools::regional_pool(pool) {
+                pool_member.insert(name, family_of_pool[pool]);
+            }
+        }
+        // Signature (motif) ingredients inherit the flavor family of their
+        // cuisine's primary pool: a cuisine's characteristic ingredients
+        // share chemistry, which is what lets the pairing analyses detect
+        // the motif structure (soy sauce and sesame oil both "east-asia").
+        for spec in crate::generator::spec::all_specs() {
+            let family = family_of_pool[spec.pools[0]];
+            for (kind, name) in spec.mentioned_items() {
+                if kind == crate::model::ItemKind::Ingredient {
+                    pool_member.entry(name).or_insert(family);
+                }
+            }
+        }
+
+        let mut compounds = HashMap::new();
+        for (id, name) in db.catalog().ingredients() {
+            let h = fnv1a(name.as_bytes());
+            let family = match pool_member.get(name) {
+                Some(&f) => f,
+                None => (h % n_families as u64) as u32,
+            };
+            let family_base = UNIVERSAL + family * FAMILY_SIZE;
+            let mut set: HashSet<CompoundId> = HashSet::new();
+            // Family compounds: a deterministic pseudo-random walk.
+            let mut x = h | 1;
+            while set.len() < PER_INGREDIENT_FAMILY {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                set.insert(CompoundId(family_base + (x % FAMILY_SIZE as u64) as u32));
+            }
+            // Universal compounds.
+            let mut y = h.rotate_left(17) | 1;
+            let mut added = 0;
+            while added < PER_INGREDIENT_UNIVERSAL {
+                y ^= y << 13;
+                y ^= y >> 7;
+                y ^= y << 17;
+                if set.insert(CompoundId((y % UNIVERSAL as u64) as u32)) {
+                    added += 1;
+                }
+            }
+            let mut v: Vec<CompoundId> = set.into_iter().collect();
+            v.sort_unstable();
+            compounds.insert(id, v);
+        }
+        FlavorTable { compounds }
+    }
+
+    /// The compound set of an ingredient (empty if unknown).
+    pub fn compounds(&self, ingredient: IngredientId) -> &[CompoundId] {
+        self.compounds
+            .get(&ingredient)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of compounds shared by two ingredients.
+    pub fn shared(&self, a: IngredientId, b: IngredientId) -> usize {
+        let (ca, cb) = (self.compounds(a), self.compounds(b));
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < ca.len() && j < cb.len() {
+            match ca[i].cmp(&cb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Ahn et al.'s recipe pairing strength `N_s(R)`: the mean number of
+    /// shared compounds over all ingredient pairs of a recipe (0 for
+    /// recipes with fewer than two ingredients).
+    pub fn recipe_pairing_strength(&self, ingredients: &[IngredientId]) -> f64 {
+        let n = ingredients.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += self.shared(ingredients[i], ingredients[j]);
+            }
+        }
+        total as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Number of ingredients with compound data.
+    pub fn len(&self) -> usize {
+        self.compounds.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.compounds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusGenerator, GeneratorConfig};
+
+    fn db() -> RecipeDb {
+        let mut cfg = GeneratorConfig::paper_scale(0.01).with_seed(4);
+        cfg.min_recipes_per_cuisine = 60;
+        CorpusGenerator::new(cfg).generate()
+    }
+
+    #[test]
+    fn every_ingredient_gets_a_compound_set() {
+        let db = db();
+        let t = FlavorTable::synthesize(&db);
+        assert_eq!(t.len(), db.catalog().ingredient_count());
+        for (id, name) in db.catalog().ingredients().take(200) {
+            let c = t.compounds(id);
+            assert!(
+                c.len() >= PER_INGREDIENT_FAMILY,
+                "{name}: only {} compounds",
+                c.len()
+            );
+            // Sorted and distinct.
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "{name}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let db = db();
+        let t1 = FlavorTable::synthesize(&db);
+        let t2 = FlavorTable::synthesize(&db);
+        let soy = db.catalog().ingredient("soy sauce").unwrap();
+        assert_eq!(t1.compounds(soy), t2.compounds(soy));
+    }
+
+    #[test]
+    fn same_pool_ingredients_share_more_than_cross_pool() {
+        let db = db();
+        let t = FlavorTable::synthesize(&db);
+        let get = |n: &str| db.catalog().ingredient(n).unwrap();
+        // Same pool (east-asia): mirin & miso.
+        let same = t.shared(get("mirin"), get("miso"));
+        // Cross pool: mirin (east-asia) & thyme (europe).
+        let cross = t.shared(get("mirin"), get("thyme"));
+        assert!(
+            same > cross,
+            "same-family pair shares {same}, cross-family {cross}"
+        );
+    }
+
+    #[test]
+    fn shared_is_symmetric_and_self_is_full() {
+        let db = db();
+        let t = FlavorTable::synthesize(&db);
+        let a = db.catalog().ingredient("salt").unwrap();
+        let b = db.catalog().ingredient("butter").unwrap();
+        assert_eq!(t.shared(a, b), t.shared(b, a));
+        assert_eq!(t.shared(a, a), t.compounds(a).len());
+    }
+
+    #[test]
+    fn pairing_strength_bounds() {
+        let db = db();
+        let t = FlavorTable::synthesize(&db);
+        let r = db.recipes().next().unwrap();
+        let s = t.recipe_pairing_strength(&r.ingredients);
+        assert!(s >= 0.0);
+        assert!(s <= (PER_INGREDIENT_FAMILY + PER_INGREDIENT_UNIVERSAL) as f64);
+        // Degenerate recipes.
+        assert_eq!(t.recipe_pairing_strength(&[]), 0.0);
+        assert_eq!(t.recipe_pairing_strength(&r.ingredients[..1]), 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Name pools for the synthetic corpus: cooking processes (exactly 268),
+//! utensils (exactly 69), regional ingredient pools, and a deterministic
+//! long-tail ingredient name grid sized so the full-scale corpus reaches the
+//! paper's 20,280 unique ingredients.
+
+/// Target number of unique ingredient names at full scale (paper, §III).
+pub const TARGET_UNIQUE_INGREDIENTS: usize = 20_280;
+/// Target number of unique process names (paper, §III).
+pub const TARGET_UNIQUE_PROCESSES: usize = 268;
+/// Target number of unique utensil names (paper, §III).
+pub const TARGET_UNIQUE_UTENSILS: usize = 69;
+
+/// Real cooking-verb names used as the head of the process distribution.
+pub const PROCESS_BASES: &[&str] = &[
+    "add", "heat", "cook", "stir", "mix", "place", "combine", "serve", "boil", "simmer",
+    "bake", "pour", "cut", "chop", "slice", "dice", "mince", "grate", "peel", "drain",
+    "rinse", "whisk", "beat", "fold", "knead", "roll", "spread", "sprinkle", "season",
+    "marinate", "grill", "roast", "fry", "saute", "steam", "blanch", "braise", "toss",
+    "garnish", "chill", "freeze", "thaw", "melt", "dissolve", "strain", "blend", "puree",
+    "crush", "mash", "whip", "brush", "coat", "dip", "layer", "stuff", "wrap", "preheat",
+    "cover", "uncover", "refrigerate", "cool", "reduce", "deglaze", "sear", "caramelize",
+    "toast", "ferment", "pickle", "cure", "smoke", "broil", "poach", "scramble", "flip",
+    "skewer", "baste", "tenderize", "score", "zest", "juice", "core", "pit", "shuck",
+    "devein", "fillet", "debone", "carve", "rest", "proof", "scald", "temper",
+];
+
+/// Exactly 69 utensil names.
+pub const UTENSILS: &[&str] = &[
+    "bowl", "oven", "skillet", "pan", "pot", "saucepan", "baking sheet", "baking dish",
+    "knife", "cutting board", "whisk tool", "spatula", "wooden spoon", "ladle", "tongs",
+    "colander", "strainer", "sieve", "box grater", "peeler", "rolling pin", "measuring cup",
+    "measuring spoon", "blender", "food processor", "mixer", "stand mixer", "wok",
+    "griddle", "grill rack", "dutch oven", "stockpot", "casserole dish", "roasting pan",
+    "loaf pan", "muffin tin", "cake pan", "pie dish", "ramekin", "metal skewer", "foil",
+    "parchment paper", "plastic wrap", "thermometer", "kitchen timer", "mandoline",
+    "mortar and pestle", "pressure cooker", "slow cooker", "rice cooker", "steamer basket",
+    "tajine", "paella pan", "crepe pan", "springform pan", "pizza stone", "broiler pan",
+    "double boiler", "fondue pot", "microwave", "toaster", "citrus juicer", "zester",
+    "turkey baster", "pastry brush", "pastry bag", "cooling rack", "kitchen scale",
+    "frying basket",
+];
+
+/// Modifiers used to synthesize long-tail ingredient names ("heirloom
+/// parsnip", "smoked barley", ...). Combined with [`TAIL_INGREDIENT_BASES`]
+/// they form a deterministic grid large enough to reach
+/// [`TARGET_UNIQUE_INGREDIENTS`].
+pub const TAIL_MODIFIERS: &[&str] = &[
+    "dried", "fresh", "smoked", "pickled", "ground", "roasted", "organic", "wild", "baby",
+    "red", "green", "black", "white", "sweet", "sour", "heirloom", "aged", "cured",
+    "fermented", "candied", "toasted", "raw", "frozen", "canned", "crushed", "whole",
+    "sliced", "shredded", "powdered", "flaked", "salted", "unsalted", "spiced", "herbed",
+    "golden", "purple", "yellow", "baby-cut", "stone-ground", "cold-pressed", "double",
+    "extra", "young", "mature", "blanched", "grilled", "charred", "glazed", "brined",
+    "marinated", "stuffed", "ribboned", "crystallized", "puffed", "malted", "sprouted",
+    "pressed", "clarified", "rendered", "infused",
+];
+
+/// Base nouns for the long-tail ingredient grid.
+pub const TAIL_INGREDIENT_BASES: &[&str] = &[
+    "parsnip", "barley", "kale", "quinoa", "lentil", "chickpea", "walnut", "almond",
+    "hazelnut", "pecan", "cashew", "pistachio", "apricot", "fig", "date", "plum", "pear",
+    "quince", "persimmon", "pomegranate", "guava", "papaya", "mango", "lychee", "longan",
+    "rambutan", "durian", "jackfruit", "plantain", "cassava", "taro", "yam", "turnip",
+    "rutabaga", "kohlrabi", "celeriac", "fennel", "endive", "radicchio", "arugula",
+    "watercress", "sorrel", "chard", "collard", "mustard green", "bok choy leaf",
+    "napa cabbage", "savoy cabbage", "brussels sprout", "artichoke", "asparagus", "leek",
+    "shallot bulb", "chive", "ramp", "squash", "pumpkin", "zucchini", "eggplant", "okra",
+    "tomatillo", "pepper", "habanero", "serrano", "poblano", "anaheim", "cayenne berry",
+    "peppercorn", "juniper", "sumac berry", "caper", "olive fruit", "grape", "currant",
+    "gooseberry", "elderberry", "mulberry", "cranberry", "blueberry", "blackberry",
+    "raspberry", "strawberry", "rhubarb", "melon", "cantaloupe", "honeydew", "kiwi",
+    "starfruit", "passionfruit", "tamarind pod", "kumquat", "clementine", "tangerine",
+    "grapefruit", "pomelo", "yuzu", "bergamot", "buckwheat", "millet", "sorghum", "teff",
+    "amaranth", "farro", "spelt", "kamut", "rye berry", "oat groat", "wild rice",
+    "arborio rice", "bomba rice", "jasmine grain", "basmati grain", "couscous pearl",
+    "orzo", "ditalini", "farfalle", "rigatoni", "fusilli", "penne", "linguine",
+    "fettuccine", "pappardelle", "tagliatelle", "gnocchi", "polenta meal", "semolina",
+    "cornmeal", "hominy", "grits", "bran", "germ", "seitan", "tempeh", "natto bean",
+    "edamame", "mung bean", "adzuki bean", "fava bean", "lima bean", "pinto bean",
+    "navy bean", "cannellini", "borlotti", "flageolet", "pigeon pea", "split pea",
+    "black-eyed pea", "soybean", "peanut", "macadamia", "brazil nut", "pine nut",
+    "chestnut", "coconut flesh", "sesame seed", "poppy seed", "sunflower seed",
+    "pumpkin seed", "flax seed", "chia seed", "hemp seed", "nigella seed", "anise seed",
+    "caraway seed", "celery seed", "dill seed", "fennel seed", "mustard seed",
+    "coriander seed", "cumin seed", "cardamom pod", "clove bud", "allspice berry",
+    "star anise pod", "cinnamon bark", "cassia bark", "nutmeg kernel", "mace aril",
+    "vanilla pod", "saffron thread", "turmeric root", "galangal root", "ginger root",
+    "horseradish root", "wasabi root", "lotus root", "burdock", "salsify", "jicama",
+    "daikon", "radish", "beet", "carrot", "potato", "sweet potato", "onion bulb",
+    "garlic bulb", "scallion stalk", "anchovy fillet", "sardine", "mackerel", "herring",
+    "trout", "salmon", "tuna", "cod", "haddock", "halibut", "flounder", "sole", "snapper",
+    "grouper", "bass", "perch", "pike", "carp", "tilapia", "catfish", "eel", "octopus",
+    "squid", "cuttlefish", "shrimp", "prawn", "crab", "lobster", "crayfish", "scallop",
+    "mussel", "clam", "oyster", "abalone", "sea urchin", "roe", "caviar", "duck breast",
+    "goose", "quail", "pheasant", "partridge", "guinea fowl", "turkey breast", "rabbit",
+    "venison", "boar", "lamb shank", "mutton", "goat", "veal", "oxtail", "tripe",
+    "sweetbread", "liver", "kidney", "heart", "tongue", "bone marrow", "pancetta",
+    "prosciutto", "speck", "bresaola", "chorizo link", "salami", "mortadella",
+    "pastrami", "corned brisket", "ham hock", "bacon slab", "lardon", "guanciale",
+    "brie", "camembert", "roquefort", "gorgonzola", "stilton", "gouda", "edam",
+    "gruyere", "emmental", "comte", "manchego", "pecorino", "asiago", "provolone",
+    "mozzarella ball", "burrata", "ricotta curd", "mascarpone", "quark", "kefir",
+    "buttermilk", "creme fraiche", "clotted cream", "ghee", "tallow", "lard",
+    "schmaltz", "duck fat", "grapeseed oil", "walnut oil", "hazelnut oil", "avocado oil",
+    "palm oil", "mustard oil", "truffle", "morel", "chanterelle", "porcini", "shiitake",
+    "maitake", "enoki", "oyster mushroom", "cremini", "portobello", "button mushroom",
+    "seaweed", "nori sheet", "kombu", "wakame", "dulse", "agar", "spirulina", "nettle",
+    "dandelion green", "purslane", "lambsquarter", "fiddlehead", "cactus paddle",
+    "agave nectar", "maple syrup", "molasses", "treacle", "golden syrup", "honeycomb",
+    "demerara", "muscovado", "jaggery", "palm sugar", "rock sugar", "isomalt",
+    "marzipan", "nougat", "praline", "cacao nib", "carob pod", "espresso bean",
+    "chicory root", "matcha powder", "oolong leaf", "rooibos leaf", "hibiscus petal",
+    "chamomile flower", "lavender bud", "rose petal", "orange blossom", "elderflower",
+    "violet petal", "nasturtium", "borage flower", "squash blossom", "banana leaf",
+    "grape leaf", "curry leaf", "kaffir lime leaf", "pandan leaf", "shiso leaf",
+    "epazote", "hoja santa", "culantro", "lovage", "chervil", "tarragon sprig",
+    "marjoram", "savory herb", "hyssop", "angelica", "verbena", "lemon balm",
+];
+
+/// Names of the regional ingredient pools. Each cuisine samples a couple of
+/// below-threshold "flavour" ingredients per recipe from its pools; shared
+/// pools are what make related cuisines look alike to the
+/// authenticity-based clustering.
+pub const POOL_EAST_ASIA: &str = "east-asia";
+/// Southeast-Asian aromatics pool.
+pub const POOL_SOUTHEAST_ASIA: &str = "southeast-asia";
+/// Northern/continental European pool.
+pub const POOL_EUROPE: &str = "europe";
+/// Mediterranean pool.
+pub const POOL_MEDITERRANEAN: &str = "mediterranean";
+/// Indian-subcontinent / North-African spice-belt pool.
+pub const POOL_SPICE_BELT: &str = "spice-belt";
+/// Latin-American pool.
+pub const POOL_LATIN: &str = "latin";
+/// Sub-Saharan African pool.
+pub const POOL_AFRICA: &str = "africa";
+/// Middle-Eastern pool.
+pub const POOL_MIDDLE_EAST: &str = "middle-east";
+/// Nordic pool.
+pub const POOL_NORDIC: &str = "nordic";
+/// North-American pool.
+pub const POOL_NORTH_AMERICA: &str = "north-america";
+
+/// Resolve a regional pool name to its member ingredients.
+pub fn regional_pool(name: &str) -> &'static [&'static str] {
+    match name {
+        n if n == POOL_EAST_ASIA => &[
+            "mirin", "miso", "tofu", "scallion", "bok choy", "rice vinegar", "dashi",
+            "sake", "nori", "shiitake mushroom", "hoisin sauce", "oyster sauce",
+            "five-spice powder", "sichuan peppercorn", "rice wine", "bean sprout",
+            "water chestnut", "bamboo shoot", "wonton wrapper", "udon noodle",
+        ],
+        n if n == POOL_SOUTHEAST_ASIA => &[
+            "lemongrass", "galangal", "kaffir lime", "thai basil", "shrimp paste",
+            "palm sugar lump", "bird's eye chili", "tamarind", "coconut cream",
+            "rice noodle", "holy basil", "pandan", "candlenut", "turmeric leaf",
+            "banana blossom", "sambal", "belacan", "laksa paste",
+        ],
+        n if n == POOL_EUROPE => &[
+            "thyme", "rosemary", "bay leaf", "parsley", "leeks", "celery", "carrots",
+            "white wine", "red wine", "dijon mustard", "nutmeg", "chicken stock",
+            "beef stock", "shallots", "tarragon", "juniper berry", "horseradish",
+            "sauerkraut", "caraway", "marjoram leaf",
+        ],
+        n if n == POOL_MEDITERRANEAN => &[
+            "oregano", "basil", "tomato paste", "capers", "anchovy", "feta cheese",
+            "kalamata olive", "pine nuts", "balsamic vinegar", "rosemary sprig",
+            "artichoke heart", "sun-dried tomato", "mozzarella", "ricotta",
+            "red wine vinegar", "zucchini squash", "eggplant fruit", "saffron",
+        ],
+        n if n == POOL_SPICE_BELT => &[
+            "turmeric", "coriander", "cardamom", "clove", "fenugreek", "garam masala",
+            "ginger paste", "green chili", "curry leaves", "mustard seeds", "ghee butter",
+            "yogurt", "basmati rice", "lentils", "asafoetida", "chickpeas", "mint leaves",
+            "ras el hanout", "harissa", "preserved lemon", "dried apricot",
+        ],
+        n if n == POOL_LATIN => &[
+            "jalapeno", "lime", "black beans", "corn tortilla", "avocado", "queso fresco",
+            "chipotle", "cotija cheese", "tomatillos", "epazote leaf", "achiote",
+            "plantains", "yuca", "sofrito", "adobo", "poblano pepper", "masa harina",
+            "pinto beans", "aji amarillo", "chimichurri",
+        ],
+        n if n == POOL_AFRICA => &[
+            "peanut butter", "okra pods", "palm oil drizzle", "scotch bonnet", "cassava root",
+            "millet flour", "sorghum grain", "egusi", "berbere", "injera", "fufu",
+            "baobab powder", "hibiscus", "plantain flour", "dried fish",
+        ],
+        n if n == POOL_MIDDLE_EAST => &[
+            "tahini", "sumac", "za'atar", "pomegranate molasses", "bulgur", "pita bread",
+            "chickpea flour", "rose water", "orange blossom water", "dates", "pistachios",
+            "labneh", "halloumi", "freekeh", "grape leaves",
+        ],
+        n if n == POOL_NORDIC => &[
+            "dill", "lingonberry", "rye bread", "pickled herring", "cloudberry",
+            "juniper", "smoked salmon", "cardamom bun spice", "rye flour", "elderflower syrup",
+            "brown cheese", "crispbread", "aquavit",
+        ],
+        n if n == POOL_NORTH_AMERICA => &[
+            "maple syrup drizzle", "cheddar cheese", "cream cheese", "ranch dressing",
+            "barbecue sauce", "corn syrup", "pecans", "cranberries", "buttermilk biscuit mix",
+            "hot sauce", "peanut oil", "molasses syrup", "wild blueberry",
+        ],
+        _ => &[],
+    }
+}
+
+/// All regional pool names.
+pub const ALL_POOLS: &[&str] = &[
+    POOL_EAST_ASIA,
+    POOL_SOUTHEAST_ASIA,
+    POOL_EUROPE,
+    POOL_MEDITERRANEAN,
+    POOL_SPICE_BELT,
+    POOL_LATIN,
+    POOL_AFRICA,
+    POOL_MIDDLE_EAST,
+    POOL_NORDIC,
+    POOL_NORTH_AMERICA,
+];
+
+/// The exact list of 268 process names: the real cooking verbs padded with
+/// deterministic "gently/quickly <verb>" variants.
+pub fn process_names() -> Vec<String> {
+    let mut out: Vec<String> = PROCESS_BASES.iter().map(|s| s.to_string()).collect();
+    'outer: for modifier in ["gently", "quickly", "partially"] {
+        for base in PROCESS_BASES {
+            if out.len() >= TARGET_UNIQUE_PROCESSES {
+                break 'outer;
+            }
+            out.push(format!("{modifier} {base}"));
+        }
+    }
+    debug_assert_eq!(out.len(), TARGET_UNIQUE_PROCESSES);
+    out
+}
+
+/// Long-tail ingredient names: a deterministic modifier × base grid,
+/// filtered against `exclude` (the "real" signature/staple/pool names
+/// already in use), truncated to `count`.
+pub fn tail_ingredient_names(count: usize, exclude: &std::collections::HashSet<&str>) -> Vec<String> {
+    let mut out = Vec::with_capacity(count);
+    'outer: for base in TAIL_INGREDIENT_BASES {
+        for modifier in TAIL_MODIFIERS {
+            if out.len() >= count {
+                break 'outer;
+            }
+            let name = format!("{modifier} {base}");
+            if !exclude.contains(name.as_str()) {
+                out.push(name);
+            }
+        }
+    }
+    assert!(
+        out.len() >= count.min(TAIL_MODIFIERS.len() * TAIL_INGREDIENT_BASES.len()),
+        "tail grid too small: got {}, wanted {count}",
+        out.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn process_names_hit_paper_count_exactly() {
+        let names = process_names();
+        assert_eq!(names.len(), 268);
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 268, "process names must be unique");
+    }
+
+    #[test]
+    fn utensil_pool_hits_paper_count_exactly() {
+        assert_eq!(UTENSILS.len(), 69);
+        let set: HashSet<&&str> = UTENSILS.iter().collect();
+        assert_eq!(set.len(), 69, "utensil names must be unique");
+    }
+
+    #[test]
+    fn tail_grid_is_large_enough_for_paper_scale() {
+        let grid = TAIL_MODIFIERS.len() * TAIL_INGREDIENT_BASES.len();
+        assert!(
+            grid >= TARGET_UNIQUE_INGREDIENTS,
+            "grid {grid} must cover {TARGET_UNIQUE_INGREDIENTS}"
+        );
+    }
+
+    #[test]
+    fn tail_names_are_unique_and_respect_exclusions() {
+        let mut exclude = HashSet::new();
+        exclude.insert("dried parsnip");
+        let names = tail_ingredient_names(500, &exclude);
+        assert_eq!(names.len(), 500);
+        assert!(!names.contains(&"dried parsnip".to_string()));
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn every_pool_resolves_nonempty() {
+        for pool in ALL_POOLS {
+            assert!(!regional_pool(pool).is_empty(), "pool {pool} empty");
+        }
+        assert!(regional_pool("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn tail_bases_are_unique() {
+        let set: HashSet<&&str> = TAIL_INGREDIENT_BASES.iter().collect();
+        assert_eq!(set.len(), TAIL_INGREDIENT_BASES.len());
+        let set: HashSet<&&str> = TAIL_MODIFIERS.iter().collect();
+        assert_eq!(set.len(), TAIL_MODIFIERS.len());
+    }
+}

@@ -1,0 +1,208 @@
+//! Corpus (de)serialization: JSON round-trip and a compact CSV-like export
+//! of recipe transactions for interoperability with external tooling.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::cuisine::Cuisine;
+use crate::error::RecipeDbError;
+use crate::store::{RecipeDb, RecipeDbBuilder};
+
+/// Serialize a corpus to pretty JSON.
+pub fn to_json(db: &RecipeDb) -> Result<String, RecipeDbError> {
+    Ok(serde_json::to_string(db)?)
+}
+
+/// Deserialize a corpus from JSON produced by [`to_json`], rebuilding
+/// internal indices and validating invariants.
+pub fn from_json(json: &str) -> Result<RecipeDb, RecipeDbError> {
+    let mut db: RecipeDb = serde_json::from_str(json)?;
+    db.rebuild_after_deserialize();
+    db.validate()?;
+    Ok(db)
+}
+
+/// Write a corpus as JSON to a writer.
+pub fn write_json<W: Write>(db: &RecipeDb, writer: W) -> Result<(), RecipeDbError> {
+    let w = BufWriter::new(writer);
+    serde_json::to_writer(w, db)?;
+    Ok(())
+}
+
+/// Read a corpus as JSON from a reader.
+pub fn read_json<R: Read>(reader: R) -> Result<RecipeDb, RecipeDbError> {
+    let mut db: RecipeDb = serde_json::from_reader(BufReader::new(reader))?;
+    db.rebuild_after_deserialize();
+    db.validate()?;
+    Ok(db)
+}
+
+/// Save a corpus to a JSON file.
+pub fn save(db: &RecipeDb, path: impl AsRef<Path>) -> Result<(), RecipeDbError> {
+    let f = std::fs::File::create(path)?;
+    write_json(db, f)
+}
+
+/// Load a corpus from a JSON file.
+pub fn load(path: impl AsRef<Path>) -> Result<RecipeDb, RecipeDbError> {
+    let f = std::fs::File::open(path)?;
+    read_json(f)
+}
+
+/// Export recipes as a flat transaction file: one line per recipe in the
+/// form `cuisine<TAB>item1|item2|...` where each item is its display name.
+/// This mirrors the pre-processing step of the paper ("Ingredients,
+/// utensils and processes were concatenated").
+pub fn export_transactions<W: Write>(db: &RecipeDb, writer: W) -> Result<(), RecipeDbError> {
+    let mut w = BufWriter::new(writer);
+    for r in db.recipes() {
+        let names: Vec<&str> = r
+            .items()
+            .filter_map(|it| db.catalog().name_of(it))
+            .collect();
+        writeln!(w, "{}\t{}", r.cuisine.name(), names.join("|"))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Import recipes from the flat transaction format written by
+/// [`export_transactions`]. Item kinds are inferred from a `kind:` prefix
+/// when present (`p:heat`, `u:bowl`), defaulting to ingredient. Plain
+/// exports therefore re-import with every item treated as an ingredient —
+/// lossy in kind, lossless in co-occurrence structure, which is all the
+/// mining pipeline consumes.
+pub fn import_transactions<R: Read>(reader: R) -> Result<RecipeDb, RecipeDbError> {
+    let mut builder = RecipeDbBuilder::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (cuisine_name, rest) = line.split_once('\t').ok_or_else(|| {
+            RecipeDbError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: missing TAB separator", lineno + 1),
+            ))
+        })?;
+        let cuisine = Cuisine::from_name(cuisine_name).ok_or_else(|| {
+            RecipeDbError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: unknown cuisine {cuisine_name:?}", lineno + 1),
+            ))
+        })?;
+        let mut ingredients = Vec::new();
+        let mut processes = Vec::new();
+        let mut utensils = Vec::new();
+        for raw in rest.split('|').filter(|s| !s.is_empty()) {
+            if let Some(p) = raw.strip_prefix("p:") {
+                processes.push(builder.catalog_mut().intern_process(p));
+            } else if let Some(u) = raw.strip_prefix("u:") {
+                utensils.push(builder.catalog_mut().intern_utensil(u));
+            } else {
+                let name = raw.strip_prefix("i:").unwrap_or(raw);
+                ingredients.push(builder.catalog_mut().intern_ingredient(name));
+            }
+        }
+        builder.add_recipe(
+            format!("recipe-{}", lineno),
+            cuisine,
+            ingredients,
+            processes,
+            utensils,
+        );
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Item;
+
+    fn tiny_db() -> RecipeDb {
+        let mut b = RecipeDbBuilder::new();
+        let soy = b.catalog_mut().intern_ingredient("soy sauce");
+        let heat = b.catalog_mut().intern_process("heat");
+        let wok = b.catalog_mut().intern_utensil("wok");
+        b.add_recipe("r0", Cuisine::Japanese, vec![soy], vec![heat], vec![wok]);
+        b.add_recipe("r1", Cuisine::Thai, vec![soy], vec![], vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let db = tiny_db();
+        let json = to_json(&db).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.recipe_count(), db.recipe_count());
+        assert_eq!(back.catalog().ingredient_count(), 1);
+        // Reverse index must be rebuilt: name lookup works after load.
+        let soy = back.catalog().ingredient("soy sauce").unwrap();
+        assert!(back
+            .recipe(crate::model::RecipeId(0))
+            .unwrap()
+            .contains(Item::Ingredient(soy)));
+        assert_eq!(back.recipes_in(Cuisine::Thai), 1);
+    }
+
+    #[test]
+    fn transaction_export_format() {
+        let db = tiny_db();
+        let mut buf = Vec::new();
+        export_transactions(&db, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Japanese\t"));
+        assert!(lines[0].contains("soy sauce"));
+    }
+
+    #[test]
+    fn transaction_import_with_kind_prefixes() {
+        let text = "Japanese\ti:soy sauce|p:heat|u:wok\nThai\tfish sauce\n";
+        let db = import_transactions(text.as_bytes()).unwrap();
+        assert_eq!(db.recipe_count(), 2);
+        assert_eq!(db.catalog().ingredient_count(), 2);
+        assert_eq!(db.catalog().process_count(), 1);
+        assert_eq!(db.catalog().utensil_count(), 1);
+        assert_eq!(db.recipes_in(Cuisine::Japanese), 1);
+    }
+
+    #[test]
+    fn transaction_import_rejects_bad_lines() {
+        assert!(import_transactions("no-tab-here".as_bytes()).is_err());
+        assert!(import_transactions("Atlantis\tsalt".as_bytes()).is_err());
+        // Blank lines are fine.
+        assert!(import_transactions("\n\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        assert!(from_json("{not json").is_err());
+        assert!(from_json("{}").is_err(), "missing fields rejected");
+        assert!(from_json("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn json_with_inconsistent_ids_fails_validation() {
+        let db = tiny_db();
+        let mut v: serde_json::Value = serde_json::from_str(&to_json(&db).unwrap()).unwrap();
+        // Corrupt the first recipe's id.
+        v["recipes"][0]["id"] = serde_json::json!(99);
+        let err = from_json(&v.to_string());
+        assert!(err.is_err(), "id/position mismatch must be caught");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = tiny_db();
+        let dir = std::env::temp_dir().join("recipedb-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        save(&db, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.recipe_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

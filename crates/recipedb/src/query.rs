@@ -1,0 +1,270 @@
+//! A fluent query API over a [`RecipeDb`]: filter recipes by cuisine,
+//! item membership and structural properties, and compute item
+//! co-occurrence statistics (the raw material of food-pairing analyses in
+//! the paper's lineage — Jain et al. 2015, Ahn et al. 2011).
+
+use std::collections::HashMap;
+
+use crate::catalog::TokenId;
+use crate::cuisine::Cuisine;
+use crate::model::{Item, Recipe};
+use crate::store::RecipeDb;
+
+/// A composable recipe filter. All constraints are conjunctive.
+#[derive(Debug, Clone, Default)]
+pub struct RecipeQuery {
+    cuisines: Option<Vec<Cuisine>>,
+    must_contain: Vec<Item>,
+    must_not_contain: Vec<Item>,
+    min_ingredients: Option<usize>,
+    max_ingredients: Option<usize>,
+    requires_utensils: Option<bool>,
+    name_contains: Option<String>,
+}
+
+impl RecipeQuery {
+    /// Match everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to one cuisine (call repeatedly for a union of cuisines).
+    pub fn cuisine(mut self, cuisine: Cuisine) -> Self {
+        self.cuisines.get_or_insert_with(Vec::new).push(cuisine);
+        self
+    }
+
+    /// Require an item to be present.
+    pub fn containing(mut self, item: Item) -> Self {
+        self.must_contain.push(item);
+        self
+    }
+
+    /// Require an item to be absent.
+    pub fn excluding(mut self, item: Item) -> Self {
+        self.must_not_contain.push(item);
+        self
+    }
+
+    /// Require at least `n` ingredients.
+    pub fn min_ingredients(mut self, n: usize) -> Self {
+        self.min_ingredients = Some(n);
+        self
+    }
+
+    /// Require at most `n` ingredients.
+    pub fn max_ingredients(mut self, n: usize) -> Self {
+        self.max_ingredients = Some(n);
+        self
+    }
+
+    /// Require utensil information to be present (or absent).
+    pub fn with_utensils(mut self, present: bool) -> Self {
+        self.requires_utensils = Some(present);
+        self
+    }
+
+    /// Require the recipe name to contain a substring (case-sensitive).
+    pub fn name_contains(mut self, needle: impl Into<String>) -> Self {
+        self.name_contains = Some(needle.into());
+        self
+    }
+
+    /// Whether a recipe satisfies every constraint.
+    pub fn matches(&self, recipe: &Recipe) -> bool {
+        if let Some(cs) = &self.cuisines {
+            if !cs.contains(&recipe.cuisine) {
+                return false;
+            }
+        }
+        if self.must_contain.iter().any(|&it| !recipe.contains(it)) {
+            return false;
+        }
+        if self.must_not_contain.iter().any(|&it| recipe.contains(it)) {
+            return false;
+        }
+        if let Some(min) = self.min_ingredients {
+            if recipe.ingredients.len() < min {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_ingredients {
+            if recipe.ingredients.len() > max {
+                return false;
+            }
+        }
+        if let Some(req) = self.requires_utensils {
+            if recipe.has_utensils() != req {
+                return false;
+            }
+        }
+        if let Some(needle) = &self.name_contains {
+            if !recipe.name.contains(needle.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run the query.
+    pub fn execute<'db>(&self, db: &'db RecipeDb) -> Vec<&'db Recipe> {
+        match &self.cuisines {
+            // Use the cuisine index when possible.
+            Some(cs) => {
+                let mut out = Vec::new();
+                for &c in cs {
+                    out.extend(db.cuisine_recipes(c).filter(|r| self.matches(r)));
+                }
+                out
+            }
+            None => db.recipes().filter(|r| self.matches(r)).collect(),
+        }
+    }
+
+    /// Count matches without materializing them.
+    pub fn count(&self, db: &RecipeDb) -> usize {
+        match &self.cuisines {
+            Some(cs) => cs
+                .iter()
+                .map(|&c| db.cuisine_recipes(c).filter(|r| self.matches(r)).count())
+                .sum(),
+            None => db.recipes().filter(|r| self.matches(r)).count(),
+        }
+    }
+}
+
+/// Pairwise item co-occurrence counts within a recipe set.
+///
+/// `count(a, b)` is the number of recipes containing both tokens; the
+/// marginals and total enable probabilistic scores (see
+/// `cuisine_atlas::pairing` for PMI on top of this).
+#[derive(Debug, Clone)]
+pub struct CooccurrenceCounts {
+    /// Number of recipes aggregated.
+    pub n_recipes: usize,
+    /// Per-token recipe counts.
+    pub marginals: HashMap<TokenId, u32>,
+    /// Pair counts, keyed by `(min_token, max_token)`.
+    pub pairs: HashMap<(TokenId, TokenId), u32>,
+}
+
+impl CooccurrenceCounts {
+    /// Count co-occurrences over the recipes of one cuisine, restricted to
+    /// tokens with at least `min_count` occurrences (keeps the pair table
+    /// small: the long tail cannot form meaningful pairs anyway).
+    pub fn for_cuisine(db: &RecipeDb, cuisine: Cuisine, min_count: u32) -> Self {
+        let marginals_all = db.item_frequencies(cuisine);
+        let keep: HashMap<TokenId, u32> = marginals_all
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        let mut pairs: HashMap<(TokenId, TokenId), u32> = HashMap::new();
+        let mut n_recipes = 0usize;
+        for r in db.cuisine_recipes(cuisine) {
+            n_recipes += 1;
+            let toks: Vec<TokenId> = db
+                .recipe_tokens(r)
+                .into_iter()
+                .filter(|t| keep.contains_key(t))
+                .collect();
+            for i in 0..toks.len() {
+                for j in (i + 1)..toks.len() {
+                    *pairs.entry((toks[i], toks[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        CooccurrenceCounts { n_recipes, marginals: keep, pairs }
+    }
+
+    /// Co-occurrence count of a pair (order-insensitive).
+    pub fn pair(&self, a: TokenId, b: TokenId) -> u32 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Marginal count of a token.
+    pub fn marginal(&self, t: TokenId) -> u32 {
+        self.marginals.get(&t).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{IngredientId, Item};
+    use crate::store::RecipeDbBuilder;
+
+    fn db() -> (RecipeDb, IngredientId, IngredientId) {
+        let mut b = RecipeDbBuilder::new();
+        let soy = b.catalog_mut().intern_ingredient("soy sauce");
+        let rice = b.catalog_mut().intern_ingredient("rice");
+        let heat = b.catalog_mut().intern_process("heat");
+        let wok = b.catalog_mut().intern_utensil("wok");
+        b.add_recipe("teriyaki bowl", Cuisine::Japanese, vec![soy, rice], vec![heat], vec![wok]);
+        b.add_recipe("plain rice", Cuisine::Japanese, vec![rice], vec![heat], vec![]);
+        b.add_recipe("fried rice", Cuisine::Thai, vec![soy, rice], vec![heat], vec![wok]);
+        (b.build().unwrap(), soy, rice)
+    }
+
+    #[test]
+    fn cuisine_and_containment_filters() {
+        let (db, soy, _) = db();
+        let q = RecipeQuery::new()
+            .cuisine(Cuisine::Japanese)
+            .containing(Item::Ingredient(soy));
+        assert_eq!(q.count(&db), 1);
+        assert_eq!(q.execute(&db)[0].name, "teriyaki bowl");
+    }
+
+    #[test]
+    fn union_of_cuisines() {
+        let (db, soy, _) = db();
+        let q = RecipeQuery::new()
+            .cuisine(Cuisine::Japanese)
+            .cuisine(Cuisine::Thai)
+            .containing(Item::Ingredient(soy));
+        assert_eq!(q.count(&db), 2);
+    }
+
+    #[test]
+    fn exclusion_and_size_filters() {
+        let (db, soy, _) = db();
+        let q = RecipeQuery::new().excluding(Item::Ingredient(soy));
+        assert_eq!(q.count(&db), 1);
+        assert_eq!(RecipeQuery::new().min_ingredients(2).count(&db), 2);
+        assert_eq!(RecipeQuery::new().max_ingredients(1).count(&db), 1);
+    }
+
+    #[test]
+    fn utensil_and_name_filters() {
+        let (db, _, _) = db();
+        assert_eq!(RecipeQuery::new().with_utensils(false).count(&db), 1);
+        assert_eq!(RecipeQuery::new().with_utensils(true).count(&db), 2);
+        assert_eq!(RecipeQuery::new().name_contains("rice").count(&db), 2);
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        let (db, _, _) = db();
+        assert_eq!(RecipeQuery::new().count(&db), 3);
+        assert_eq!(RecipeQuery::new().execute(&db).len(), 3);
+    }
+
+    #[test]
+    fn cooccurrence_counts() {
+        let (db, soy, rice) = db();
+        let co = CooccurrenceCounts::for_cuisine(&db, Cuisine::Japanese, 1);
+        let ts = db.catalog().token_of(Item::Ingredient(soy));
+        let tr = db.catalog().token_of(Item::Ingredient(rice));
+        assert_eq!(co.n_recipes, 2);
+        assert_eq!(co.marginal(ts), 1);
+        assert_eq!(co.marginal(tr), 2);
+        assert_eq!(co.pair(ts, tr), 1);
+        assert_eq!(co.pair(tr, ts), 1, "order-insensitive");
+        // min_count filter drops rare tokens entirely.
+        let co2 = CooccurrenceCounts::for_cuisine(&db, Cuisine::Japanese, 2);
+        assert_eq!(co2.marginal(ts), 0);
+        assert_eq!(co2.pair(ts, tr), 0);
+        assert_eq!(co2.marginal(tr), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based invariants of the recipe substrate: arbitrary corpora
+//! round-trip through JSON and the transaction format, queries agree with
+//! brute-force filtering, and alias rewriting preserves co-occurrence
+//! structure.
+
+use proptest::prelude::*;
+
+use recipedb::alias::AliasTable;
+use recipedb::model::Item;
+use recipedb::query::RecipeQuery;
+use recipedb::store::{RecipeDb, RecipeDbBuilder};
+use recipedb::{io, Cuisine};
+
+/// An arbitrary small corpus: up to 20 recipes over small item universes.
+fn arb_db() -> impl Strategy<Value = RecipeDb> {
+    let recipe = (
+        0usize..26,                                // cuisine index
+        prop::collection::vec(0usize..8, 0..6),    // ingredient picks
+        prop::collection::vec(0usize..4, 0..4),    // process picks
+        prop::collection::vec(0usize..3, 0..3),    // utensil picks
+    );
+    prop::collection::vec(recipe, 1..20).prop_map(|rows| {
+        let mut b = RecipeDbBuilder::new();
+        let ings: Vec<_> = (0..8)
+            .map(|i| b.catalog_mut().intern_ingredient(&format!("ing-{i}")))
+            .collect();
+        let procs: Vec<_> = (0..4)
+            .map(|i| b.catalog_mut().intern_process(&format!("proc-{i}")))
+            .collect();
+        let utes: Vec<_> = (0..3)
+            .map(|i| b.catalog_mut().intern_utensil(&format!("ute-{i}")))
+            .collect();
+        for (n, (c, ri, rp, ru)) in rows.into_iter().enumerate() {
+            b.add_recipe(
+                format!("r{n}"),
+                Cuisine::from_index(c).unwrap(),
+                ri.into_iter().map(|i| ings[i]).collect(),
+                rp.into_iter().map(|i| procs[i]).collect(),
+                ru.into_iter().map(|i| utes[i]).collect(),
+            );
+        }
+        b.build().expect("valid corpus")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_roundtrip_is_lossless(db in arb_db()) {
+        let json = io::to_json(&db).unwrap();
+        let back = io::from_json(&json).unwrap();
+        prop_assert_eq!(back.recipe_count(), db.recipe_count());
+        prop_assert_eq!(back.catalog().token_count(), db.catalog().token_count());
+        for (a, b) in db.recipes().zip(back.recipes()) {
+            prop_assert_eq!(a, b);
+        }
+        // Name lookups survive (reverse index rebuilt).
+        prop_assert_eq!(back.catalog().ingredient("ing-0"), db.catalog().ingredient("ing-0"));
+    }
+
+    #[test]
+    fn transactions_match_recipe_contents(db in arb_db()) {
+        for &c in &Cuisine::ALL {
+            let txs = db.transactions_for(c);
+            let recipes: Vec<_> = db.cuisine_recipes(c).collect();
+            prop_assert_eq!(txs.len(), recipes.len());
+            for (tx, r) in txs.iter().zip(&recipes) {
+                prop_assert_eq!(tx.len(), r.item_count(), "tokens == distinct items");
+                for &tok in tx {
+                    let item = db.catalog().item_of(tok).expect("token resolves");
+                    prop_assert!(r.contains(item));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_agrees_with_brute_force(db in arb_db(), c in 0usize..26, ing in 0u32..8) {
+        let cuisine = Cuisine::from_index(c).unwrap();
+        let item = db.catalog().ingredient(&format!("ing-{ing}")).map(Item::Ingredient);
+        prop_assume!(item.is_some());
+        let item = item.unwrap();
+        let q = RecipeQuery::new().cuisine(cuisine).containing(item);
+        let brute = db
+            .recipes()
+            .filter(|r| r.cuisine == cuisine && r.contains(item))
+            .count();
+        prop_assert_eq!(q.count(&db), brute);
+        prop_assert_eq!(q.execute(&db).len(), brute);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(db in arb_db()) {
+        let s = db.stats();
+        prop_assert_eq!(s.total_recipes, db.recipe_count());
+        prop_assert_eq!(
+            s.recipes_per_cuisine.iter().sum::<usize>(),
+            db.recipe_count()
+        );
+        let with_utensils = db.recipes().filter(|r| r.has_utensils()).count();
+        prop_assert_eq!(s.recipes_without_utensils, db.recipe_count() - with_utensils);
+    }
+
+    #[test]
+    fn alias_apply_preserves_recipe_count_and_merges_ids(db in arb_db()) {
+        let mut t = AliasTable::new();
+        t.add("ing-1", "ing-0");
+        let merged = recipedb::alias::apply(&db, &t);
+        prop_assert_eq!(merged.recipe_count(), db.recipe_count());
+        prop_assert!(merged.catalog().ingredient("ing-1").is_none());
+        // A recipe containing either ing-0 or ing-1 before now contains
+        // the canonical id.
+        let before_union = db
+            .recipes()
+            .filter(|r| {
+                [0u32, 1].iter().any(|&i| {
+                    db.catalog()
+                        .ingredient(&format!("ing-{i}"))
+                        .is_some_and(|id| r.contains(Item::Ingredient(id)))
+                })
+            })
+            .count();
+        let canon = merged.catalog().ingredient("ing-0");
+        let after = match canon {
+            Some(id) => merged
+                .recipes()
+                .filter(|r| r.contains(Item::Ingredient(id)))
+                .count(),
+            None => 0,
+        };
+        prop_assert_eq!(before_union, after);
+    }
+
+    #[test]
+    fn transaction_export_import_preserves_cooccurrence(db in arb_db()) {
+        // The flat format is lossy in kind but lossless in co-occurrence:
+        // per-recipe distinct-item counts and cuisine assignment survive.
+        let mut buf = Vec::new();
+        io::export_transactions(&db, &mut buf).unwrap();
+        let back = io::import_transactions(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.recipe_count(), db.recipe_count());
+        for (a, b) in db.recipes().zip(back.recipes()) {
+            prop_assert_eq!(a.cuisine, b.cuisine);
+            prop_assert_eq!(a.item_count(), b.item_count());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Authenticity fingerprints (paper §V.B): for a handful of cuisines,
+//! print the most and least authentic ingredients — the positive and
+//! negative tails that jointly form the "culinary fingerprint".
+//!
+//! ```sh
+//! cargo run --release --example cuisine_fingerprints [cuisine name ...]
+//! ```
+
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+use recipedb::Cuisine;
+
+fn main() {
+    let requested: Vec<Cuisine> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            vec![Cuisine::Japanese, Cuisine::Italian, Cuisine::IndianSubcontinent, Cuisine::UK]
+        } else {
+            args.iter()
+                .map(|a| {
+                    Cuisine::from_name(a).unwrap_or_else(|| {
+                        eprintln!("unknown cuisine {a:?}; valid names:");
+                        for c in Cuisine::ALL {
+                            eprintln!("  {c}");
+                        }
+                        std::process::exit(1);
+                    })
+                })
+                .collect()
+        }
+    };
+
+    let atlas = CuisineAtlas::build(&AtlasConfig::quick(42));
+    let matrix = atlas.authenticity_matrix();
+    let db = atlas.db();
+
+    for cuisine in requested {
+        println!("=== {cuisine} ===");
+        println!("  most authentic (over-represented vs the rest of the world):");
+        for (tok, score) in matrix.most_authentic(cuisine, 8) {
+            let name = db.catalog().token_name(tok).unwrap_or("?");
+            println!("    {score:+.3}  {name}");
+        }
+        println!("  least authentic (conspicuously absent):");
+        for (tok, score) in matrix.least_authentic(cuisine, 5) {
+            let name = db.catalog().token_name(tok).unwrap_or("?");
+            println!("    {score:+.3}  {name}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,73 @@
+//! A playful application of the atlas: plan a "fusion menu" by finding
+//! the cuisine pairs whose pattern trees sit closest together, listing
+//! the signature patterns they share, and borrowing each cuisine's
+//! strongest ingredient pairings as course ideas.
+//!
+//! ```sh
+//! cargo run --release --example fusion_menu
+//! ```
+
+use clustering::Metric;
+use cuisine_atlas::pairing::PairingAnalysis;
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+use recipedb::Cuisine;
+
+fn main() {
+    let atlas = CuisineAtlas::build(&AtlasConfig::quick(42));
+    let tree = atlas.pattern_tree(Metric::Jaccard);
+    let features = atlas.features();
+
+    // Rank cuisine pairs by pattern-tree proximity.
+    let coph = tree.dendrogram.cophenetic();
+    let mut pairs: Vec<(Cuisine, Cuisine, f64)> = Vec::new();
+    for (i, j, _) in tree.distances.iter_pairs() {
+        pairs.push((Cuisine::ALL[i], Cuisine::ALL[j], coph.get(i, j)));
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Document frequency per pattern: anchors should be patterns the pair
+    // shares with few OTHER cuisines, not global staples.
+    let mut df = vec![0usize; features.vocab_size()];
+    for set in &features.pattern_sets {
+        for &code in set {
+            df[code as usize] += 1;
+        }
+    }
+
+    println!("Closest culinary neighbours (Jaccard pattern tree):\n");
+    for (a, b, h) in pairs.iter().take(5) {
+        let shared = features.shared_patterns(a.index(), b.index());
+        println!("  {a} × {b}   (merge height {h:.3}, {shared} shared patterns)");
+
+        // Distinctive shared patterns make natural fusion anchors.
+        let sa: std::collections::BTreeSet<u32> =
+            features.pattern_sets[a.index()].iter().copied().collect();
+        let sb: std::collections::BTreeSet<u32> =
+            features.pattern_sets[b.index()].iter().copied().collect();
+        let mut anchors: Vec<(usize, &str)> = sa
+            .intersection(&sb)
+            .map(|&code| (df[code as usize], features.vocabulary[code as usize].as_str()))
+            .filter(|&(d, _)| d <= 8) // shared by few cuisines -> distinctive
+            .collect();
+        anchors.sort();
+        let names: Vec<&str> = anchors.iter().map(|&(_, p)| p).take(4).collect();
+        if !names.is_empty() {
+            println!("      anchors: {}", names.join(" | "));
+        }
+    }
+
+    // Course ideas: each cuisine's strongest pairing.
+    let menu_cuisines = [pairs[0].0, pairs[0].1, pairs[1].0];
+    println!("\nCourse ideas from the strongest pairings:");
+    for c in menu_cuisines {
+        let analysis = PairingAnalysis::analyze(atlas.db(), c, 30, 10);
+        if let Some(p) = analysis.strongest(1).first() {
+            println!(
+                "  {c}: {} + {}  (PMI {:+.2})",
+                atlas.db().catalog().token_name(p.a).unwrap_or("?"),
+                atlas.db().catalog().token_name(p.b).unwrap_or("?"),
+                p.pmi
+            );
+        }
+    }
+}

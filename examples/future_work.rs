@@ -1,0 +1,20 @@
+//! The paper's §VIII future-work questions, answered on the synthetic
+//! corpus: how much do processes/utensils matter, what does alias merging
+//! change, how stable are the headline claims under resampling, and how
+//! sensitive is the tree to the linkage method.
+//!
+//! ```sh
+//! cargo run --release --example future_work
+//! ```
+
+use cuisine_atlas::extensions;
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+
+fn main() {
+    let atlas = CuisineAtlas::build(&AtlasConfig::quick(42));
+
+    println!("{}", extensions::kinds_ablation(&atlas));
+    println!("{}", extensions::alias_ablation(&atlas));
+    println!("{}", extensions::bootstrap_report(&atlas, 20, 7));
+    println!("{}", extensions::linkage_sensitivity(&atlas));
+}

@@ -1,0 +1,58 @@
+//! Association-rule discovery inside one cuisine (paper §II/§IV lineage:
+//! Agrawal-style rules over recipe transactions). Shows the strongest
+//! `A ⇒ B` implications among a cuisine's frequent patterns — e.g. how
+//! tightly sesame oil implies soy sauce in Korean recipes.
+//!
+//! ```sh
+//! cargo run --release --example pairing_rules ["Korean"]
+//! ```
+
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+use pattern_mining::rules::{induce_rules, RuleConfig};
+use recipedb::catalog::TokenId;
+use recipedb::Cuisine;
+
+fn main() {
+    let cuisine = std::env::args()
+        .nth(1)
+        .map(|a| {
+            Cuisine::from_name(&a).unwrap_or_else(|| {
+                eprintln!("unknown cuisine {a:?}");
+                std::process::exit(1);
+            })
+        })
+        .unwrap_or(Cuisine::Korean);
+
+    let atlas = CuisineAtlas::build(&AtlasConfig::quick(42));
+    let cp = &atlas.patterns()[cuisine.index()];
+    let db = atlas.db();
+
+    let config = RuleConfig { min_confidence: 0.6, min_lift: 1.05 };
+    let rules = induce_rules(&cp.itemsets, cp.n_recipes, &config);
+
+    println!(
+        "{} — {} frequent patterns over {} recipes; {} rules at confidence ≥ {:.0}%, lift > {:.2}",
+        cuisine,
+        cp.itemsets.len(),
+        cp.n_recipes,
+        rules.len(),
+        config.min_confidence * 100.0,
+        config.min_lift,
+    );
+    let fmt = |ids: &[u32]| -> String {
+        ids.iter()
+            .filter_map(|&t| db.catalog().token_name(TokenId(t)))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    };
+    for rule in rules.iter().take(15) {
+        println!(
+            "  {:<40} => {:<28} conf {:.2}  lift {:.2}  supp {:.2}",
+            fmt(rule.antecedent.items()),
+            fmt(rule.consequent.items()),
+            rule.confidence,
+            rule.lift,
+            rule.support,
+        );
+    }
+}

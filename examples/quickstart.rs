@@ -1,0 +1,31 @@
+//! Quickstart: build a cuisine atlas and regenerate the paper's core
+//! artifacts in one minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use clustering::Metric;
+use cuisine_atlas::report::{render_table1, render_tree};
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+
+fn main() {
+    // A 10%-scale corpus: fast, statistically faithful. Use
+    // `AtlasConfig::paper()` for the full 118k-recipe corpus.
+    let mut config = AtlasConfig::quick(42);
+    config.corpus.scale = 0.1;
+    println!(
+        "generating ~{} synthetic recipes across 26 cuisines...",
+        config.corpus.total_recipes()
+    );
+    let atlas = CuisineAtlas::build(&config);
+
+    // Corpus statistics (paper §III).
+    println!("\n--- corpus ---\n{}", atlas.db().stats().report());
+
+    // Table I: the top significant patterns per cuisine.
+    println!("--- Table I ---\n{}", render_table1(&atlas.table1()));
+
+    // Figure 2: the Euclidean pattern dendrogram.
+    println!("--- Figure 2 ---\n{}", render_tree(&atlas.pattern_tree(Metric::Euclidean)));
+}

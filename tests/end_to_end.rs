@@ -1,0 +1,143 @@
+//! Cross-crate integration: corpus generation (recipedb) → frequent
+//! pattern mining (pattern-mining) → feature encoding and clustering
+//! (clustering) → the atlas pipeline (cuisine-atlas), asserting the
+//! properties the paper's narrative depends on.
+
+use clustering::validation::cophenetic_correlation;
+use clustering::Metric;
+use cuisine_atlas::compare::{geo_agreement, historical_claims};
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+use recipedb::Cuisine;
+use std::sync::OnceLock;
+
+fn atlas() -> &'static CuisineAtlas {
+    static ATLAS: OnceLock<CuisineAtlas> = OnceLock::new();
+    ATLAS.get_or_init(|| CuisineAtlas::build(&AtlasConfig::quick(2024)))
+}
+
+#[test]
+fn corpus_matches_paper_section3_shape() {
+    let stats = atlas().db().stats();
+    assert_eq!(stats.recipes_per_cuisine.iter().filter(|&&n| n > 0).count(), 26);
+    assert_eq!(stats.unique_processes, 268);
+    assert_eq!(stats.unique_utensils, 69);
+    assert!((8.0..12.0).contains(&stats.avg_ingredients), "{}", stats.avg_ingredients);
+    assert!((10.0..14.0).contains(&stats.avg_processes), "{}", stats.avg_processes);
+    assert!((2.0..4.0).contains(&stats.avg_utensils_when_present));
+    let utensil_less = stats.recipes_without_utensils as f64 / stats.total_recipes as f64;
+    assert!((0.10..0.15).contains(&utensil_less), "{utensil_less}");
+}
+
+#[test]
+fn every_cuisine_yields_a_pattern_profile() {
+    for cp in atlas().patterns() {
+        assert!(
+            (15..=200).contains(&cp.pattern_count()),
+            "{}: {} patterns",
+            cp.cuisine,
+            cp.pattern_count()
+        );
+    }
+    // The paper's two richest rows are the Indian Subcontinent (119) and
+    // Northern Africa (134); the reproduction must keep them on top.
+    let counts: Vec<(Cuisine, usize)> = atlas()
+        .patterns()
+        .iter()
+        .map(|cp| (cp.cuisine, cp.pattern_count()))
+        .collect();
+    let mut sorted = counts.clone();
+    sorted.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let top5: Vec<Cuisine> = sorted.iter().take(5).map(|&(c, _)| c).collect();
+    assert!(
+        top5.contains(&Cuisine::IndianSubcontinent) && top5.contains(&Cuisine::NorthernAfrica),
+        "top-5 by pattern count: {top5:?}"
+    );
+}
+
+#[test]
+fn trees_are_faithful_to_their_input_distances() {
+    // Cophenetic correlation of every tree against its own distances —
+    // an internal-consistency bound, not a paper number.
+    for tree in [
+        atlas().pattern_tree(Metric::Euclidean),
+        atlas().pattern_tree(Metric::Cosine),
+        atlas().pattern_tree(Metric::Jaccard),
+        atlas().authenticity_tree(),
+        atlas().geographic_tree(),
+    ] {
+        let c = cophenetic_correlation(&tree.dendrogram, &tree.distances);
+        assert!(c > 0.55, "{}: cophenetic correlation {c}", tree.description);
+    }
+}
+
+#[test]
+fn historical_claims_hold_in_all_cuisine_trees_but_not_geography() {
+    let a = atlas();
+    for tree in [
+        a.pattern_tree(Metric::Euclidean),
+        a.pattern_tree(Metric::Cosine),
+        a.pattern_tree(Metric::Jaccard),
+        a.authenticity_tree(),
+    ] {
+        let claims = historical_claims(&tree);
+        assert!(claims.canada_closer_to_france_than_us, "{}", tree.description);
+        assert!(
+            claims.india_closer_to_north_africa_than_neighbors,
+            "{}",
+            tree.description
+        );
+    }
+    let geo = a.geographic_tree();
+    assert!(!historical_claims(&geo).canada_closer_to_france_than_us);
+}
+
+#[test]
+fn authenticity_tree_beats_pattern_trees_against_geography() {
+    // Paper §VII: "the clusters obtained via the authenticity based
+    // clustering gave similar yet better results ... when validated on
+    // geographical distance based clusters".
+    let a = atlas();
+    let geo = a.geographic_tree();
+    let auth = geo_agreement(&a.authenticity_tree(), &geo);
+    for metric in [Metric::Euclidean, Metric::Cosine, Metric::Jaccard] {
+        let pat = geo_agreement(&a.pattern_tree(metric), &geo);
+        assert!(
+            auth.bakers_gamma >= pat.bakers_gamma - 0.02,
+            "authenticity gamma {} vs {} gamma {}",
+            auth.bakers_gamma,
+            metric,
+            pat.bakers_gamma
+        );
+    }
+}
+
+#[test]
+fn regional_blocks_form_in_the_pattern_tree() {
+    // The qualitative block structure of Figures 2-4: East Asia coheres,
+    // Thai sits with Southeast Asian, the Mediterranean trio coheres.
+    let tree = atlas().pattern_tree(Metric::Euclidean);
+    let coph = tree.dendrogram.cophenetic();
+    let d = |a: Cuisine, b: Cuisine| coph.get(a.index(), b.index());
+
+    assert!(d(Cuisine::Japanese, Cuisine::Korean) < d(Cuisine::Japanese, Cuisine::UK));
+    assert!(
+        d(Cuisine::ChineseAndMongolian, Cuisine::Japanese)
+            < d(Cuisine::ChineseAndMongolian, Cuisine::Mexican)
+    );
+    assert!(d(Cuisine::Thai, Cuisine::SoutheastAsian) < d(Cuisine::Thai, Cuisine::Irish));
+    assert!(d(Cuisine::Greek, Cuisine::Italian) < d(Cuisine::Greek, Cuisine::Japanese));
+    assert!(d(Cuisine::UK, Cuisine::Irish) < d(Cuisine::UK, Cuisine::Thai));
+}
+
+#[test]
+fn elbow_method_fails_as_in_figure_1() {
+    // Figure 1's point: no sharp knee on the cuisine pattern vectors.
+    let curve = atlas().elbow_curve(16, 9);
+    let (_, strength) = clustering::kmeans::elbow_strength(&curve).expect("curve length");
+    assert!(
+        strength < 0.25,
+        "cuisine data should have no sharp elbow, strength {strength}"
+    );
+    // WCSS still trends downward (valid k-means).
+    assert!(curve.last().unwrap() < curve.first().unwrap());
+}

@@ -1,0 +1,105 @@
+//! End-to-end checks of the §VIII future-work extensions (E1–E5) on a
+//! shared quick corpus — the integration counterpart of the unit tests in
+//! `cuisine_atlas::extensions` / `flavor_pairing`.
+
+use clustering::hac::LinkageMethod;
+use cuisine_atlas::extensions::{
+    bootstrap_claims, kinds_ablation, linkage_sensitivity, pattern_tree_for_kinds,
+};
+use cuisine_atlas::flavor_pairing::pairing_world_map;
+use cuisine_atlas::{AtlasConfig, CuisineAtlas};
+use recipedb::alias::AliasTable;
+use recipedb::{Cuisine, ItemKind};
+use std::sync::OnceLock;
+
+fn atlas() -> &'static CuisineAtlas {
+    static ATLAS: OnceLock<CuisineAtlas> = OnceLock::new();
+    ATLAS.get_or_init(|| CuisineAtlas::build(&AtlasConfig::quick(321)))
+}
+
+#[test]
+fn e1_every_kind_variant_produces_a_complete_tree() {
+    use ItemKind::*;
+    for kinds in [
+        vec![Ingredient],
+        vec![Ingredient, Process],
+        vec![Ingredient, Process, Utensil],
+    ] {
+        let tree = pattern_tree_for_kinds(atlas().db(), 0.2, &kinds, LinkageMethod::Average);
+        assert_eq!(tree.dendrogram.n_leaves(), 26);
+        let mut order = tree.dendrogram.leaf_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..26).collect::<Vec<_>>());
+    }
+    let report = kinds_ablation(atlas());
+    assert!(report.contains("ingredients only"));
+}
+
+#[test]
+fn e2_alias_merge_keeps_the_pipeline_runnable_end_to_end() {
+    let merged_db = recipedb::alias::apply(atlas().db(), &AliasTable::culinary_defaults());
+    let merged = CuisineAtlas::from_db(merged_db, atlas().config());
+    let table = merged.table1();
+    assert_eq!(table.rows.len(), 26);
+    // Caribbean's "garlic clove" merges into "garlic" — and the merged
+    // item is frequent in so many cuisines (Mediterranean + Asian blocks
+    // + the three garlic-clove Latin cuisines) that it crosses the
+    // generic threshold and drops out of the significant-pattern report
+    // entirely. That is the substantive effect of alias normalization the
+    // paper's future-work section is after.
+    let carib = &table.rows[Cuisine::Caribbean.index()];
+    assert!(
+        carib.top_patterns.iter().all(|p| !p.pattern.contains("garlic")),
+        "garlic must be generic after merging: {:?}",
+        carib.top_patterns
+    );
+    let generic = cuisine_atlas::patterns::generic_items(
+        merged.patterns(),
+        merged.config().generic_fraction,
+    );
+    let garlic = merged
+        .db()
+        .catalog()
+        .token_of(recipedb::Item::Ingredient(
+            merged.db().catalog().ingredient("garlic").unwrap(),
+        ));
+    assert!(generic.contains(&garlic.0), "merged garlic is generic");
+    // The un-merged atlas still reports garlic clove for Caribbean.
+    let base = &atlas().table1().rows[Cuisine::Caribbean.index()];
+    assert_eq!(base.top_patterns[0].pattern, "garlic clove");
+}
+
+#[test]
+fn e3_bootstrap_is_deterministic_given_seed() {
+    let a = bootstrap_claims(atlas(), 3, 42);
+    let b = bootstrap_claims(atlas(), 3, 42);
+    assert_eq!(a.canada_france_rate, b.canada_france_rate);
+    assert_eq!(a.india_nafrica_rate, b.india_nafrica_rate);
+    assert!((a.mean_gamma_to_original - b.mean_gamma_to_original).abs() < 1e-12);
+}
+
+#[test]
+fn e4_linkage_sensitivity_keeps_claims_across_methods() {
+    let report = linkage_sensitivity(atlas());
+    // Every row ends with two claim booleans; none may be false.
+    for line in report.lines().skip(2) {
+        assert!(!line.contains("false"), "claim failed under some linkage: {line}");
+    }
+}
+
+#[test]
+fn e5_pairing_effect_is_strongest_in_the_butter_europe_block() {
+    let map = pairing_world_map(atlas().db(), 3, 9);
+    let delta_of = |c: Cuisine| map.iter().find(|h| h.cuisine == c).unwrap().delta;
+    // All motif-driven cuisines pair above chance on the synthetic table.
+    assert!(delta_of(Cuisine::French) > 0.0);
+    assert!(delta_of(Cuisine::UK) > 0.0);
+    // The butter-Europe block concentrates one flavor family, so it beats
+    // a sparse-motif Latin cuisine.
+    assert!(
+        delta_of(Cuisine::French) > delta_of(Cuisine::Mexican),
+        "French {} vs Mexican {}",
+        delta_of(Cuisine::French),
+        delta_of(Cuisine::Mexican)
+    );
+}
