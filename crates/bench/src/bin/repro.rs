@@ -1,26 +1,32 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--linkage METHOD] [EXPERIMENT...]
+//! repro [--scale S] [--seed N] [--linkage METHOD] [--json] [EXPERIMENT...]
 //!
 //! EXPERIMENT: table1 figure1 figure2 figure3 figure4 figure5 figure6
 //!             validate extensions stats all        (default: all)
 //! --scale S   corpus scale vs the paper's 118k recipes (default 1.0)
 //! --seed N    generator seed (default 42)
 //! --linkage M single|complete|average|weighted|ward (default average)
+//! --json      emit the machine-readable views (cuisine_atlas::views)
+//!             instead of the text reports
 //! ```
 
 use std::process::ExitCode;
 
 use clustering::hac::LinkageMethod;
+use clustering::Metric;
+use cuisine_atlas::compare::{geo_agreement, historical_claims};
 use cuisine_atlas::experiments;
 use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use cuisine_atlas::views::{AgreementView, ElbowView, Table1View, TreeView};
 use recipedb::generator::GeneratorConfig;
 
 struct Options {
     scale: f64,
     seed: u64,
     linkage: LinkageMethod,
+    json: bool,
     experiments: Vec<String>,
 }
 
@@ -29,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
         scale: 1.0,
         seed: 42,
         linkage: LinkageMethod::Average,
+        json: false,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -56,9 +63,12 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown linkage {other}")),
                 };
             }
+            "--json" => opts.json = true,
             "--help" | "-h" => {
-                return Err("usage: repro [--scale S] [--seed N] [--linkage M] [EXPERIMENT...]"
-                    .into())
+                return Err(
+                    "usage: repro [--scale S] [--seed N] [--linkage M] [--json] [EXPERIMENT...]"
+                        .into(),
+                )
             }
             exp => opts.experiments.push(exp.to_string()),
         }
@@ -96,6 +106,10 @@ fn main() -> ExitCode {
     );
     let atlas = CuisineAtlas::build(&config);
 
+    if opts.json {
+        return run_json(&atlas, &opts);
+    }
+
     for exp in &opts.experiments {
         let out = match exp.as_str() {
             "table1" | "t1" => experiments::table1(&atlas),
@@ -116,6 +130,88 @@ fn main() -> ExitCode {
             }
         };
         println!("{out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// JSON mode: each experiment becomes one line of `cuisine_atlas::views`
+/// output — the exact payloads the `atlas-server` endpoints serve.
+fn run_json(atlas: &CuisineAtlas, opts: &Options) -> ExitCode {
+    let geo = atlas.geographic_tree();
+    for exp in &opts.experiments {
+        let value = match exp.as_str() {
+            "table1" | "t1" => serde_json::to_value(Table1View::from_table(&atlas.table1())),
+            "figure1" | "f1" => serde_json::to_value(ElbowView {
+                k_max: 16,
+                seed: opts.seed,
+                wcss: atlas.elbow_curve(16, opts.seed),
+            }),
+            "figure2" | "f2" => {
+                serde_json::to_value(TreeView::from_tree(&atlas.pattern_tree(Metric::Euclidean)))
+            }
+            "figure3" | "f3" => {
+                serde_json::to_value(TreeView::from_tree(&atlas.pattern_tree(Metric::Cosine)))
+            }
+            "figure4" | "f4" => {
+                serde_json::to_value(TreeView::from_tree(&atlas.pattern_tree(Metric::Jaccard)))
+            }
+            "figure5" | "f5" => {
+                serde_json::to_value(TreeView::from_tree(&atlas.authenticity_tree()))
+            }
+            "figure6" | "f6" => serde_json::to_value(TreeView::from_tree(&geo)),
+            "validate" | "q1" => {
+                let views: Vec<AgreementView> = [
+                    atlas.pattern_tree(Metric::Euclidean),
+                    atlas.pattern_tree(Metric::Cosine),
+                    atlas.pattern_tree(Metric::Jaccard),
+                    atlas.authenticity_tree(),
+                ]
+                .iter()
+                .map(|t| AgreementView::from_parts(&geo_agreement(t, &geo), &historical_claims(t)))
+                .collect();
+                serde_json::to_value(views)
+            }
+            "all" => {
+                let mut obj = serde_json::Map::new();
+                obj.insert(
+                    "table1".into(),
+                    serde_json::to_value(Table1View::from_table(&atlas.table1())).unwrap(),
+                );
+                for (key, tree) in [
+                    ("figure2", atlas.pattern_tree(Metric::Euclidean)),
+                    ("figure3", atlas.pattern_tree(Metric::Cosine)),
+                    ("figure4", atlas.pattern_tree(Metric::Jaccard)),
+                    ("figure5", atlas.authenticity_tree()),
+                    ("figure6", geo.clone()),
+                ] {
+                    obj.insert(
+                        key.into(),
+                        serde_json::to_value(TreeView::from_tree(&tree)).unwrap(),
+                    );
+                }
+                obj.insert(
+                    "figure1".into(),
+                    serde_json::to_value(ElbowView {
+                        k_max: 16,
+                        seed: opts.seed,
+                        wcss: atlas.elbow_curve(16, opts.seed),
+                    })
+                    .unwrap(),
+                );
+                Ok(serde_json::Value::Object(obj))
+            }
+            other => {
+                eprintln!("experiment {other} has no JSON view (text mode only)");
+                return ExitCode::FAILURE;
+            }
+        };
+        match value {
+            Ok(v) => println!("{}", serde_json::to_string_pretty(&v).unwrap()),
+            Err(e) => {
+                eprintln!("serializing {exp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

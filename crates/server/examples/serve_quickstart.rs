@@ -1,0 +1,36 @@
+//! Start an in-process atlas server, query a few endpoints, shut down.
+//!
+//! ```text
+//! cargo run --release -p atlas-server --example serve_quickstart
+//! ```
+
+use atlas_server::{ServerConfig, ServerHandle};
+
+fn main() {
+    let server = ServerHandle::start(ServerConfig::default()).expect("bind ephemeral port");
+    println!("serving on http://{}", server.addr());
+
+    let (status, body) = server.get("/health").unwrap();
+    println!("GET /health -> {status}\n{}\n", String::from_utf8_lossy(&body));
+
+    // The first atlas-backed request builds the quick atlas (seed 23);
+    // everything after that is a cache hit.
+    let (status, body) = server.get("/tree/pattern/euclidean").unwrap();
+    println!(
+        "GET /tree/pattern/euclidean -> {status} ({} bytes, {} build)",
+        body.len(),
+        server.build_count()
+    );
+
+    let (status, body) = server.get("/fingerprint/Thai?k=3").unwrap();
+    println!("GET /fingerprint/Thai?k=3 -> {status}\n{}\n", String::from_utf8_lossy(&body));
+
+    let (status, _) = server.get("/table1").unwrap();
+    println!(
+        "GET /table1 -> {status} (builds so far: {}, still 1 — same atlas)",
+        server.build_count()
+    );
+
+    server.shutdown();
+    println!("server stopped cleanly");
+}

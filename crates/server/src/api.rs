@@ -1,0 +1,377 @@
+//! The JSON API: shared state, query-parameter parsing, and every
+//! endpoint handler.
+//!
+//! All atlas-backed endpoints accept the same query parameters —
+//! `seed`, `scale`, `linkage`, `min_support` — which select (or build)
+//! an atlas in the cache. Identical parameters always serve identical
+//! bytes; concurrent cold requests for the same parameters trigger
+//! exactly one build.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use clustering::hac::LinkageMethod;
+use clustering::Metric;
+use cuisine_atlas::compare::{geo_agreement, historical_claims};
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use cuisine_atlas::views::{
+    AgreementView, ElbowView, FingerprintView, Table1View, TreeView,
+};
+use recipedb::Cuisine;
+use serde::Serialize;
+use serde_json::json;
+
+use crate::cache::{AtlasCache, CacheKey};
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+use crate::router::{PathParams, Router};
+use crate::singleflight::SingleFlight;
+
+/// Largest corpus scale the server will build on demand.
+const MAX_SCALE: f64 = 1.0;
+/// Largest k accepted by `/elbow`.
+const MAX_ELBOW_K: usize = 26;
+/// Largest per-extreme item count accepted by `/fingerprint`.
+const MAX_FINGERPRINT_K: usize = 100;
+
+/// Shared state behind every handler: the atlas cache, the
+/// single-flight table guarding cold builds, and counters for
+/// observability.
+pub struct AppState {
+    cache: AtlasCache<CuisineAtlas>,
+    flight: SingleFlight<CacheKey, CuisineAtlas>,
+    builds: AtomicUsize,
+    workers: usize,
+}
+
+impl AppState {
+    /// State with an atlas cache of `cache_capacity` entries, reporting
+    /// `workers` in `/health`.
+    pub fn new(cache_capacity: usize, workers: usize) -> Self {
+        AppState {
+            cache: AtlasCache::new(cache_capacity),
+            flight: SingleFlight::new(),
+            builds: AtomicUsize::new(0),
+            workers,
+        }
+    }
+
+    /// Number of atlas builds performed since startup. Single-flight
+    /// makes this strictly smaller than the number of cold requests
+    /// under concurrency.
+    pub fn build_count(&self) -> usize {
+        self.builds.load(Ordering::SeqCst)
+    }
+
+    /// The atlas for `config` — cached, or built once even under
+    /// concurrent identical requests.
+    pub fn atlas(&self, config: &AtlasConfig) -> Arc<CuisineAtlas> {
+        let key = CacheKey::from_config(config);
+        if let Some(atlas) = self.cache.get(&key) {
+            return atlas;
+        }
+        let atlas = self.flight.work(&key, || {
+            self.builds.fetch_add(1, Ordering::SeqCst);
+            CuisineAtlas::build(config)
+        });
+        self.cache.insert(key, Arc::clone(&atlas));
+        atlas
+    }
+}
+
+/// Parse the shared atlas-selection query parameters.
+///
+/// Defaults mirror [`AtlasConfig::quick`] with seed 23 — the same atlas
+/// the test suite shares — so a bare `GET /table1` is fast and
+/// reproducible.
+pub fn config_from_query(request: &Request) -> Result<AtlasConfig, ApiError> {
+    let seed = match request.query_param("seed") {
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| ApiError::bad_request(format!("bad seed: {s:?}")))?,
+        None => 23,
+    };
+    let mut config = AtlasConfig::quick(seed);
+    if let Some(s) = request.query_param("scale") {
+        let scale = s
+            .parse::<f64>()
+            .map_err(|_| ApiError::bad_request(format!("bad scale: {s:?}")))?;
+        if !(scale > 0.0 && scale <= MAX_SCALE) {
+            return Err(ApiError::bad_request(format!(
+                "scale must be in (0, {MAX_SCALE}], got {scale}"
+            )));
+        }
+        config.corpus.scale = scale;
+    }
+    if let Some(s) = request.query_param("min_support") {
+        let min_support = s
+            .parse::<f64>()
+            .map_err(|_| ApiError::bad_request(format!("bad min_support: {s:?}")))?;
+        if !(min_support > 0.0 && min_support < 1.0) {
+            return Err(ApiError::bad_request(format!(
+                "min_support must be in (0, 1), got {min_support}"
+            )));
+        }
+        config.min_support = min_support;
+    }
+    if let Some(s) = request.query_param("linkage") {
+        config.linkage = LinkageMethod::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "unknown linkage {s:?}; expected one of: {}",
+                    LinkageMethod::ALL.map(|m| m.name()).join(", ")
+                ))
+            })?;
+    }
+    Ok(config)
+}
+
+fn metric_from_name(name: &str) -> Result<Metric, ApiError> {
+    // Only the three metrics the paper builds trees from are routable.
+    [Metric::Euclidean, Metric::Cosine, Metric::Jaccard]
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| {
+            ApiError::not_found(format!(
+                "no tree for metric {name:?}; expected euclidean, cosine or jaccard"
+            ))
+        })
+}
+
+fn ok_json<T: Serialize>(view: &T) -> Result<Response, ApiError> {
+    let body = serde_json::to_string(view)
+        .map_err(|e| ApiError::internal(format!("serialization failed: {e}")))?;
+    Ok(Response::json(200, body))
+}
+
+/// Render an [`ApiError`] as its JSON response.
+pub fn error_response(err: &ApiError) -> Response {
+    let body = json!({ "error": (err.message.as_str()), "status": (err.status) });
+    Response::json(err.status, body.to_string())
+}
+
+/// Build the full routing table.
+pub fn router() -> Router<AppState> {
+    Router::new()
+        .get("/health", health)
+        .get("/cuisines", cuisines)
+        .get("/table1", table1)
+        .get("/tree/pattern/:metric", pattern_tree)
+        .get("/tree/authenticity", authenticity_tree)
+        .get("/tree/geo", geo_tree)
+        .get("/compare", compare)
+        .get("/fingerprint/:cuisine", fingerprint)
+        .get("/elbow", elbow)
+}
+
+fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let (hits, misses) = state.cache.stats();
+    ok_json(&json!({
+        "status": "ok",
+        "workers": (state.workers),
+        "cached_atlases": (state.cache.len()),
+        "builds": (state.build_count()),
+        "cache_hits": hits,
+        "cache_misses": misses,
+    }))
+}
+
+fn cuisines(_: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let names: Vec<&str> = Cuisine::ALL.iter().map(|c| c.name()).collect();
+    ok_json(&json!({ "count": (names.len()), "cuisines": names }))
+}
+
+fn table1(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let config = config_from_query(request)?;
+    let atlas = state.atlas(&config);
+    ok_json(&Table1View::from_table(&atlas.table1()))
+}
+
+fn pattern_tree(
+    state: &AppState,
+    request: &Request,
+    params: &PathParams,
+) -> Result<Response, ApiError> {
+    let metric = metric_from_name(params.get("metric").unwrap_or_default())?;
+    let config = config_from_query(request)?;
+    let atlas = state.atlas(&config);
+    ok_json(&TreeView::from_tree(&atlas.pattern_tree(metric)))
+}
+
+fn authenticity_tree(
+    state: &AppState,
+    request: &Request,
+    _: &PathParams,
+) -> Result<Response, ApiError> {
+    let config = config_from_query(request)?;
+    let atlas = state.atlas(&config);
+    ok_json(&TreeView::from_tree(&atlas.authenticity_tree()))
+}
+
+fn geo_tree(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let config = config_from_query(request)?;
+    let atlas = state.atlas(&config);
+    ok_json(&TreeView::from_tree(&atlas.geographic_tree()))
+}
+
+fn compare(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let config = config_from_query(request)?;
+    let atlas = state.atlas(&config);
+    let geo = atlas.geographic_tree();
+    let trees = [
+        atlas.pattern_tree(Metric::Euclidean),
+        atlas.pattern_tree(Metric::Cosine),
+        atlas.pattern_tree(Metric::Jaccard),
+        atlas.authenticity_tree(),
+    ];
+    let views: Vec<AgreementView> = trees
+        .iter()
+        .map(|tree| {
+            AgreementView::from_parts(&geo_agreement(tree, &geo), &historical_claims(tree))
+        })
+        .collect();
+    ok_json(&views)
+}
+
+fn fingerprint(
+    state: &AppState,
+    request: &Request,
+    params: &PathParams,
+) -> Result<Response, ApiError> {
+    let name = params.get("cuisine").unwrap_or_default();
+    let cuisine = Cuisine::from_name(name)
+        .ok_or_else(|| ApiError::not_found(format!("unknown cuisine {name:?}")))?;
+    let k = match request.query_param("k") {
+        Some(s) => {
+            let k = s
+                .parse::<usize>()
+                .map_err(|_| ApiError::bad_request(format!("bad k: {s:?}")))?;
+            if k == 0 || k > MAX_FINGERPRINT_K {
+                return Err(ApiError::bad_request(format!(
+                    "k must be in 1..={MAX_FINGERPRINT_K}, got {k}"
+                )));
+            }
+            k
+        }
+        None => 5,
+    };
+    let config = config_from_query(request)?;
+    let atlas = state.atlas(&config);
+    let matrix = atlas.authenticity_matrix();
+    ok_json(&FingerprintView::from_matrix(&matrix, atlas.db(), cuisine, k))
+}
+
+fn elbow(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let k_max = match request.query_param("k_max") {
+        Some(s) => {
+            let k = s
+                .parse::<usize>()
+                .map_err(|_| ApiError::bad_request(format!("bad k_max: {s:?}")))?;
+            if k == 0 || k > MAX_ELBOW_K {
+                return Err(ApiError::bad_request(format!(
+                    "k_max must be in 1..={MAX_ELBOW_K}, got {k}"
+                )));
+            }
+            k
+        }
+        None => 16,
+    };
+    let config = config_from_query(request)?;
+    let seed = config.corpus.seed;
+    let atlas = state.atlas(&config);
+    ok_json(&ElbowView { k_max, seed, wcss: atlas.elbow_curve(k_max, seed) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn defaults_mirror_quick_seed_23() {
+        let config = config_from_query(&req("/table1", &[])).unwrap();
+        let quick = AtlasConfig::quick(23);
+        assert_eq!(
+            CacheKey::from_config(&config),
+            CacheKey::from_config(&quick)
+        );
+    }
+
+    #[test]
+    fn query_overrides_are_applied() {
+        let config = config_from_query(&req(
+            "/table1",
+            &[
+                ("seed", "7"),
+                ("scale", "0.02"),
+                ("min_support", "0.25"),
+                ("linkage", "complete"),
+            ],
+        ))
+        .unwrap();
+        assert_eq!(config.corpus.seed, 7);
+        assert_eq!(config.corpus.scale, 0.02);
+        assert_eq!(config.min_support, 0.25);
+        assert_eq!(config.linkage.name(), "complete");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert_eq!(
+            config_from_query(&req("/t", &[("seed", "x")])).unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            config_from_query(&req("/t", &[("scale", "0")])).unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            config_from_query(&req("/t", &[("scale", "2.0")])).unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            config_from_query(&req("/t", &[("min_support", "1.5")])).unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            config_from_query(&req("/t", &[("linkage", "mystery")])).unwrap_err().status,
+            400
+        );
+        assert_eq!(metric_from_name("manhattan").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn cuisines_endpoint_needs_no_atlas() {
+        let state = AppState::new(2, 1);
+        let resp = cuisines(&state, &req("/cuisines", &[]), &PathParams::default()).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"count\":") || text.contains("\"count\" :"));
+        assert!(text.contains("Indian Subcontinent"));
+        assert_eq!(state.build_count(), 0);
+    }
+
+    #[test]
+    fn error_response_is_json_with_status() {
+        let resp = error_response(&ApiError::not_found("nope"));
+        assert_eq!(resp.status, 404);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("nope"));
+        assert!(text.contains("404"));
+    }
+}

@@ -1,0 +1,112 @@
+//! `atlas-serve` — run the cuisine-atlas JSON API from the command line.
+//!
+//! ```text
+//! atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!             [--cache-capacity N] [--prewarm SEED[,SEED...]]
+//! ```
+//!
+//! `--prewarm` builds the quick atlas for each listed seed before
+//! accepting connections, so first requests are cache hits.
+
+use atlas_server::{handle, ServerConfig, ServerHandle};
+use cuisine_atlas::pipeline::AtlasConfig;
+
+struct Options {
+    config: ServerConfig,
+    prewarm_seeds: Vec<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--cache-capacity N] [--prewarm SEED[,SEED...]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        config: ServerConfig {
+            addr: "127.0.0.1:8091".to_string(),
+            ..ServerConfig::default()
+        },
+        prewarm_seeds: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("missing value for {flag}");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--addr" => options.config.addr = value("--addr"),
+            "--workers" => {
+                options.config.workers = parse_num(&value("--workers"), "--workers")
+            }
+            "--queue-cap" => {
+                options.config.queue_cap = parse_num(&value("--queue-cap"), "--queue-cap")
+            }
+            "--cache-capacity" => {
+                options.config.cache_capacity =
+                    parse_num(&value("--cache-capacity"), "--cache-capacity")
+            }
+            "--prewarm" => {
+                options.prewarm_seeds = value("--prewarm")
+                    .split(',')
+                    .map(|s| parse_num(s, "--prewarm"))
+                    .collect()
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    match s.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("bad value for {flag}: {s:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    let server = match ServerHandle::start(options.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", options.config.addr);
+            std::process::exit(1);
+        }
+    };
+    if !options.prewarm_seeds.is_empty() {
+        let configs: Vec<AtlasConfig> = options
+            .prewarm_seeds
+            .iter()
+            .map(|&seed| AtlasConfig::quick(seed))
+            .collect();
+        eprintln!("prewarming {} atlas build(s)...", configs.len());
+        handle::prewarm(server.state(), &configs);
+        eprintln!("prewarm done ({} built)", server.build_count());
+    }
+    println!(
+        "atlas-serve listening on http://{} ({} workers, cache capacity {})",
+        server.addr(),
+        options.config.workers,
+        options.config.cache_capacity,
+    );
+    println!("try: curl http://{}/health", server.addr());
+    // Serve until the process is killed; the handle joins on drop.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,191 @@
+//! Sharded LRU cache for built atlases.
+//!
+//! Keys are canonicalized [`AtlasConfig`]s (floats compared by bit
+//! pattern), values are `Arc`s shared with in-flight responses.
+//! Sharding by key hash keeps lock contention low; recency is a global
+//! atomic clock stamped on every hit so eviction is approximately LRU
+//! without a linked list.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cuisine_atlas::pipeline::AtlasConfig;
+
+const SHARDS: usize = 8;
+
+/// A hashable, canonical identity for an atlas build.
+///
+/// Two configs that produce the same corpus and trees map to the same
+/// key; `f64` fields are compared via `to_bits` so `0.2` and `0.2`
+/// parsed from different query strings coincide exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    seed: u64,
+    scale_bits: u64,
+    min_recipes_per_cuisine: usize,
+    min_support_bits: u64,
+    generic_fraction_bits: u64,
+    top_k: usize,
+    linkage: &'static str,
+}
+
+impl CacheKey {
+    /// Canonicalize a config into its cache identity.
+    pub fn from_config(config: &AtlasConfig) -> Self {
+        CacheKey {
+            seed: config.corpus.seed,
+            scale_bits: config.corpus.scale.to_bits(),
+            min_recipes_per_cuisine: config.corpus.min_recipes_per_cuisine,
+            min_support_bits: config.min_support.to_bits(),
+            generic_fraction_bits: config.generic_fraction.to_bits(),
+            top_k: config.top_k,
+            linkage: config.linkage.name(),
+        }
+    }
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// A sharded, approximately-LRU cache.
+pub struct AtlasCache<V> {
+    shards: Vec<RwLock<HashMap<CacheKey, Entry<V>>>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> AtlasCache<V> {
+    /// A cache holding at most `capacity` atlases in total.
+    pub fn new(capacity: usize) -> Self {
+        AtlasCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, Entry<V>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Look up a key, stamping recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<V>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).write().unwrap();
+        match shard.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a value, evicting globally-least-recently-used entries
+    /// while the cache is over its total capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<V>) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key)
+            .write()
+            .unwrap()
+            .insert(key, Entry { value, last_used: now });
+        while self.len() > self.capacity {
+            // Find the globally-oldest entry (reads), then remove it
+            // (write). A concurrent hit can bump it in between — then
+            // the remove is a slightly-unfair eviction, not a bug.
+            let oldest = self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .unwrap()
+                        .iter()
+                        .map(|(k, e)| (k.clone(), e.last_used))
+                        .collect::<Vec<_>>()
+                })
+                .min_by_key(|&(_, used)| used);
+            match oldest {
+                Some((k, _)) => self.shard(&k).write().unwrap().remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    /// Number of cached atlases across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since startup.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::LinkageMethod;
+
+    fn key(seed: u64) -> CacheKey {
+        let mut config = AtlasConfig::quick(seed);
+        config.linkage = LinkageMethod::Average;
+        CacheKey::from_config(&config)
+    }
+
+    #[test]
+    fn keys_canonicalize_equal_configs() {
+        let a = CacheKey::from_config(&AtlasConfig::quick(7));
+        let b = CacheKey::from_config(&AtlasConfig::quick(7));
+        let c = CacheKey::from_config(&AtlasConfig::quick(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut with_other_support = AtlasConfig::quick(7);
+        with_other_support.min_support += 0.05;
+        assert_ne!(a, CacheKey::from_config(&with_other_support));
+    }
+
+    #[test]
+    fn hit_returns_same_arc_and_counts() {
+        let cache = AtlasCache::<String>::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), Arc::new("atlas".to_string()));
+        let got = cache.get(&key(1)).unwrap();
+        assert_eq!(*got, "atlas");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_global_and_least_recently_used() {
+        let cache = AtlasCache::<u64>::new(2);
+        cache.insert(key(1), Arc::new(10));
+        cache.insert(key(2), Arc::new(20));
+        // Touch key 1 so key 2 becomes the LRU entry, then overflow.
+        cache.get(&key(1));
+        cache.insert(key(3), Arc::new(30));
+        assert_eq!(cache.len(), 2, "total capacity holds across shards");
+        assert_eq!(*cache.get(&key(1)).unwrap(), 10);
+        assert!(cache.get(&key(2)).is_none(), "LRU entry was evicted");
+        assert_eq!(*cache.get(&key(3)).unwrap(), 30);
+    }
+}

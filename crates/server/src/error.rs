@@ -1,0 +1,63 @@
+//! API-level errors mapped onto HTTP status codes.
+
+use std::fmt;
+
+/// An error a handler can return; rendered as a JSON body with the
+/// matching status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Human-readable message, returned as `{"error": ...}`.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400 — the request was syntactically or semantically invalid.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        ApiError { status: 400, message: msg.into() }
+    }
+
+    /// 404 — no route or resource.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        ApiError { status: 404, message: msg.into() }
+    }
+
+    /// 405 — the path exists but not under this method.
+    pub fn method_not_allowed(msg: impl Into<String>) -> Self {
+        ApiError { status: 405, message: msg.into() }
+    }
+
+    /// 500 — handler failure.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        ApiError { status: 500, message: msg.into() }
+    }
+
+    /// 503 — the server is saturated or shutting down.
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        ApiError { status: 503, message: msg.into() }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_status() {
+        assert_eq!(ApiError::bad_request("x").status, 400);
+        assert_eq!(ApiError::not_found("x").status, 404);
+        assert_eq!(ApiError::method_not_allowed("x").status, 405);
+        assert_eq!(ApiError::internal("x").status, 500);
+        assert_eq!(ApiError::unavailable("x").status, 503);
+        assert_eq!(ApiError::not_found("no such tree").to_string(), "404 no such tree");
+    }
+}

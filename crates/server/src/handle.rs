@@ -1,0 +1,253 @@
+//! Running servers: the accept loop, per-connection handling, and the
+//! in-process [`ServerHandle`] used by tests, examples, and the CLI.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::{self, AppState};
+use crate::error::ApiError;
+use crate::http::{read_request, ParseError};
+use crate::pool::WorkerPool;
+use crate::router::Router;
+use crate::ServerConfig;
+
+/// How long a keep-alive connection may sit idle before being closed.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Requests served per connection before forcing a close.
+const MAX_REQUESTS_PER_CONNECTION: usize = 256;
+/// Accept-loop poll interval while no connections arrive.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A running server: owns its listener thread and worker pool, exposes
+/// the bound address, and shuts down gracefully on [`ServerHandle::shutdown`]
+/// or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bind and start serving. With `addr` port 0 an ephemeral port is
+    /// chosen; read it back via [`ServerHandle::addr`].
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let state = Arc::new(AppState::new(config.cache_capacity, config.workers));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let workers = config.workers;
+        let queue_cap = config.queue_cap;
+        let accept_thread = std::thread::Builder::new()
+            .name("atlas-accept".to_string())
+            .spawn(move || {
+                accept_loop(listener, accept_state, accept_stop, workers, queue_cap);
+            })?;
+
+        Ok(ServerHandle { addr, state, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for inspecting cache/build counters in tests.
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Number of atlas builds performed so far.
+    pub fn build_count(&self) -> usize {
+        self.state.build_count()
+    }
+
+    /// Minimal blocking client: `GET` a path (query string included,
+    /// already percent-encoded) and return `(status, body)`.
+    pub fn get(&self, path_and_query: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        write!(
+            stream,
+            "GET {path_and_query} HTTP/1.1\r\nHost: atlas\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_client_response(&raw)
+    }
+
+    /// Stop accepting, drain in-flight connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop polls, but a wake-up connection makes shutdown
+        // immediate rather than one poll interval away.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Split a raw HTTP/1.1 response into status code and body.
+fn parse_client_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| bad("non-UTF-8 headers"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+/// Accept connections until stopped, handing each to the worker pool.
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    workers: usize,
+    queue_cap: usize,
+) {
+    // The pool lives (and dies) with the accept loop: when the loop
+    // exits, dropping the pool drains queued connections and joins the
+    // workers, so `ServerHandle::shutdown` only has to join this thread.
+    let router = api::router();
+    let handler_stop = Arc::clone(&stop);
+    let pool = WorkerPool::new(workers, queue_cap, move |stream: TcpStream| {
+        handle_connection(stream, &router, state.as_ref(), handler_stop.as_ref());
+    });
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break; // wake-up connection — drop it and exit
+                }
+                if let Err(crate::pool::Rejected(mut stream)) = pool.try_execute(stream) {
+                    // Load shedding: the queue is full, so tell the
+                    // client instead of letting connections pile up.
+                    let resp = api::error_response(&ApiError::unavailable(
+                        "server saturated, retry later",
+                    ));
+                    let _ = resp.write_to(&mut stream, false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Serve requests on one connection until it closes, errors, times out,
+/// or the server stops.
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router<AppState>,
+    state: &AppState,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for served in 0.. {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(ParseError::ConnectionClosed) => break,
+            Err(ParseError::Malformed(msg)) => {
+                let resp = api::error_response(&ApiError::bad_request(msg));
+                let _ = resp.write_to(&mut writer, false);
+                break;
+            }
+        };
+        let keep_alive =
+            request.wants_keep_alive() && served + 1 < MAX_REQUESTS_PER_CONNECTION;
+        let response = match router.dispatch(state, &request) {
+            Ok(response) => response,
+            Err(err) => api::error_response(&err),
+        };
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+/// Build every atlas the given configs describe, so first requests hit
+/// the cache. Used by `atlas-serve --prewarm`.
+pub fn prewarm(state: &AppState, configs: &[cuisine_atlas::pipeline::AtlasConfig]) {
+    for config in configs {
+        let _ = state.atlas(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_response_parser_handles_status_and_body() {
+        let (status, body) =
+            parse_client_response(b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, b"no");
+        assert!(parse_client_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn start_serve_health_and_shutdown() {
+        let server = ServerHandle::start(ServerConfig::default()).unwrap();
+        let (status, body) = server.get("/health").unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"status\""));
+        assert_eq!(server.build_count(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404_bad_method_405() {
+        let server = ServerHandle::start(ServerConfig::default()).unwrap();
+        assert_eq!(server.get("/nope").unwrap().0, 404);
+        // Raw request with a different method to check 405 mapping.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "DELETE /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        assert_eq!(parse_client_response(&raw).unwrap().0, 405);
+        server.shutdown();
+    }
+}

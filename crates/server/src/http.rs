@@ -1,0 +1,329 @@
+//! A minimal, defensive HTTP/1.1 layer over blocking streams.
+//!
+//! Covers exactly what the atlas API needs: request-line + header
+//! parsing with hard size limits, percent-decoding, query-string
+//! splitting, `Content-Length` bodies, keep-alive negotiation, and
+//! response writing. Anything outside that (chunked bodies, upgrades,
+//! multi-line headers) is rejected with a 400.
+
+use std::io::{BufRead, Write};
+
+/// Hard limit on the request line (method + target + version).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Hard limit on a single header line.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Hard limit on header count.
+const MAX_HEADERS: usize = 64;
+/// Hard limit on request bodies.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, ...).
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Header `(name-lowercase, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 default yes, overridden by `Connection: close`).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => !v.eq_ignore_ascii_case("close"),
+            None => true,
+        }
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed before sending a request line — normal end of a
+    /// keep-alive session, not an error to report.
+    ConnectionClosed,
+    /// The bytes were not valid HTTP; the message goes into a 400 body.
+    Malformed(String),
+}
+
+/// Read one request from a buffered stream.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    let line = read_line(reader, MAX_REQUEST_LINE)?;
+    if line.is_empty() {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing HTTP version".into()))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("bad request line: {line}")));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(ParseError::Malformed(format!("bad request target: {target}")));
+    }
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| ParseError::Malformed("bad percent-encoding in path".into()))?;
+    let query = match raw_query {
+        Some(q) => parse_query(q)
+            .ok_or_else(|| ParseError::Malformed("bad percent-encoding in query".into()))?,
+        None => Vec::new(),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, MAX_HEADER_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("bad header: {line}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let body = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            let len: usize = v
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length: {v}")))?;
+            if len > MAX_BODY {
+                return Err(ParseError::Malformed(format!("body too large: {len}")));
+            }
+            let mut buf = vec![0u8; len];
+            std::io::Read::read_exact(reader, &mut buf)
+                .map_err(|e| ParseError::Malformed(format!("short body: {e}")))?;
+            buf
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Request { method, path, query, headers, body })
+}
+
+/// Read a CRLF- (or LF-) terminated line; empty string at EOF.
+fn read_line<R: BufRead>(reader: &mut R, max: usize) -> Result<String, ParseError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match std::io::Read::read(reader, &mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    buf.push(byte[0]);
+                }
+                if buf.len() > max {
+                    return Err(ParseError::Malformed("line too long".into()));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Malformed(format!("read error: {e}"))),
+        }
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::Malformed("non-UTF-8 request".into()))
+}
+
+/// Decode `%XX` escapes (and `+` as space); `None` on malformed escapes.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex(*bytes.get(i + 1)?)?;
+                let lo = hex(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Split a query string into decoded key/value pairs.
+fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Some(out)
+}
+
+/// A response ready to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response { status, content_type: "application/json", body: body.into() }
+    }
+
+    /// Write the response, announcing whether the connection stays open.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            connection,
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let r = parse(
+            "GET /tree/pattern/euclidean?seed=7&scale=0.05 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/tree/pattern/euclidean");
+        assert_eq!(r.query_param("seed"), Some("7"));
+        assert_eq!(r.query_param("scale"), Some("0.05"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(!r.wants_keep_alive());
+    }
+
+    #[test]
+    fn percent_decoding_in_path_and_query() {
+        let r = parse("GET /fingerprint/Indian%20Subcontinent?x=a%2Bb HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/fingerprint/Indian Subcontinent");
+        assert_eq!(r.query_param("x"), Some("a+b"));
+        assert_eq!(percent_decode("a+b"), Some("a b".into()));
+        assert_eq!(percent_decode("%GG"), None);
+        assert_eq!(percent_decode("%2"), None);
+    }
+
+    #[test]
+    fn eof_is_connection_closed_and_garbage_is_malformed() {
+        assert_eq!(parse("").unwrap_err(), ParseError::ConnectionClosed);
+        assert!(matches!(parse("garbage\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+        assert!(matches!(
+            parse("GET /x HTTP/2.0\r\n\r\n").unwrap_err(),
+            ParseError::Malformed(_)
+        ));
+        assert!(matches!(parse("GET noslash HTTP/1.1\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn keep_alive_defaults_on_for_http11() {
+        let r = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive());
+    }
+
+    #[test]
+    fn body_respects_content_length() {
+        let r = parse("POST /upload HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nabc").unwrap_err(),
+            ParseError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn response_writes_status_line_and_length() {
+        let mut buf = Vec::new();
+        Response::json(200, r#"{"ok":true}"#).write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with(r#"{"ok":true}"#));
+    }
+}

@@ -1,0 +1,59 @@
+//! `atlas-server` — a concurrent query server for the cuisine atlas.
+//!
+//! Serves every artifact of the paper's pipeline (Table I, the four
+//! cuisine trees, authenticity fingerprints, the elbow curve, and the
+//! geography comparison) over a JSON HTTP/1.1 API, built from the
+//! workspace's own primitives: `std::net` sockets, a crossbeam-backed
+//! worker pool, and a sharded LRU atlas cache with single-flight build
+//! deduplication.
+//!
+//! ```no_run
+//! use atlas_server::{ServerConfig, ServerHandle};
+//!
+//! let server = ServerHandle::start(ServerConfig::default()).unwrap();
+//! let (status, body) = server.get("/tree/pattern/euclidean").unwrap();
+//! assert_eq!(status, 200);
+//! println!("{}", String::from_utf8_lossy(&body));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod error;
+pub mod handle;
+pub mod http;
+pub mod pool;
+pub mod router;
+pub mod singleflight;
+
+pub use api::AppState;
+pub use error::ApiError;
+pub use handle::ServerHandle;
+
+/// Server startup parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; beyond it the server sheds
+    /// load with 503s.
+    pub queue_cap: usize,
+    /// Atlases kept in the LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            cache_capacity: 4,
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Fixed-size worker pool over a bounded crossbeam channel.
+//!
+//! The pool is generic over the work item (the server feeds it accepted
+//! `TcpStream`s) with one shared handler fixed at construction. The
+//! queue is bounded: when it is full, [`WorkerPool::try_execute`] fails
+//! fast and *returns the item*, so the accept loop can answer 503
+//! instead of queueing unboundedly or silently dropping the connection.
+//! Dropping the pool (or calling [`WorkerPool::shutdown`]) closes the
+//! channel; workers drain what is queued and exit.
+
+use crossbeam::channel::{self, Sender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A fixed pool of worker threads consuming items from a bounded queue.
+pub struct WorkerPool<T> {
+    sender: Option<Sender<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads sharing a queue of at most `queue_cap`
+    /// pending items, each running `handler` on the items it receives.
+    /// Both counts are clamped to at least 1.
+    pub fn new<F>(workers: usize, queue_cap: usize, handler: F) -> Self
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let (sender, receiver) = channel::bounded::<T>(queue_cap.max(1));
+        let handler = Arc::new(handler);
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = receiver.clone();
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("atlas-worker-{i}"))
+                    .spawn(move || {
+                        // recv() errors once every sender is gone and the
+                        // queue is drained — that is the shutdown signal.
+                        while let Ok(item) = receiver.recv() {
+                            handler(item);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit an item, failing fast when the queue is full or the pool
+    /// is shutting down. The item comes back in the error so the caller
+    /// can reject it gracefully.
+    pub fn try_execute(&self, item: T) -> Result<(), Rejected<T>> {
+        let sender = match self.sender.as_ref() {
+            Some(s) => s,
+            None => return Err(Rejected(item)),
+        };
+        match sender.try_send(item) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(item)) | Err(TrySendError::Disconnected(item)) => {
+                Err(Rejected(item))
+            }
+        }
+    }
+
+    /// Close the queue and join every worker. Queued items still run.
+    pub fn shutdown(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already printed its payload; the
+            // pool itself survives so the rest can be joined.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The pool queue was full (or the pool was already shut down); the
+/// item is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Rejected<T>(pub T);
+
+impl<T> std::fmt::Display for Rejected<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool saturated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_items_across_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool = WorkerPool::new(4, 64, move |n: usize| {
+            c.fetch_add(n, Ordering::SeqCst);
+        });
+        for _ in 0..32 {
+            while pool.try_execute(1).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn saturated_queue_returns_the_item() {
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let pool = WorkerPool::new(1, 1, move |block: bool| {
+            if block {
+                g.wait();
+            }
+        });
+        pool.try_execute(true).unwrap();
+        // With the single worker blocked on the barrier, the queue (cap 1)
+        // eventually fills and further submissions must bounce.
+        let mut bounced = None;
+        for _ in 0..64 {
+            match pool.try_execute(false) {
+                Err(Rejected(item)) => {
+                    bounced = Some(item);
+                    break;
+                }
+                Ok(()) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        assert_eq!(bounced, Some(false));
+        gate.wait();
+    }
+
+    #[test]
+    fn shutdown_drains_queue_then_joins() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let mut pool = WorkerPool::new(2, 16, move |n: usize| {
+            c.fetch_add(n, Ordering::SeqCst);
+        });
+        for _ in 0..8 {
+            pool.try_execute(1).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(pool.try_execute(1), Err(Rejected(1)));
+    }
+}

@@ -1,0 +1,183 @@
+//! A small segment-matching router generic over a shared context.
+//!
+//! Routes are registered as patterns like `/tree/pattern/:metric`;
+//! `:name` segments capture the (already percent-decoded) path
+//! segment. Dispatch distinguishes 404 (no pattern matched the path)
+//! from 405 (a pattern matched under a different method).
+
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+
+/// Captured `:name` path parameters for one match.
+#[derive(Debug, Default, Clone)]
+pub struct PathParams {
+    params: Vec<(String, String)>,
+}
+
+impl PathParams {
+    /// Value of a named capture.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A handler: context + request + captures, returning a response or an
+/// API error (which the server renders as a JSON error body).
+pub type Handler<C> = Box<dyn Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync>;
+
+struct Route<C> {
+    method: &'static str,
+    segments: Vec<Segment>,
+    handler: Handler<C>,
+}
+
+enum Segment {
+    Literal(String),
+    Capture(String),
+}
+
+/// Routing table generic over the shared application context `C`.
+pub struct Router<C> {
+    routes: Vec<Route<C>>,
+}
+
+impl<C> Default for Router<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> Router<C> {
+    /// An empty router.
+    pub fn new() -> Self {
+        Router { routes: Vec::new() }
+    }
+
+    /// Register a handler for `method` + `pattern`.
+    pub fn route<H>(mut self, method: &'static str, pattern: &str, handler: H) -> Self
+    where
+        H: Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync + 'static,
+    {
+        let segments = split(pattern)
+            .map(|s| match s.strip_prefix(':') {
+                Some(name) => Segment::Capture(name.to_string()),
+                None => Segment::Literal(s.to_string()),
+            })
+            .collect();
+        self.routes.push(Route { method, segments, handler: Box::new(handler) });
+        self
+    }
+
+    /// Shorthand for a GET route.
+    pub fn get<H>(self, pattern: &str, handler: H) -> Self
+    where
+        H: Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync + 'static,
+    {
+        self.route("GET", pattern, handler)
+    }
+
+    /// Dispatch a request; errors carry the right 404/405 status.
+    pub fn dispatch(&self, ctx: &C, request: &Request) -> Result<Response, ApiError> {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &request.path) {
+                path_matched = true;
+                if route.method == request.method {
+                    return (route.handler)(ctx, request, &params);
+                }
+            }
+        }
+        if path_matched {
+            Err(ApiError::method_not_allowed(format!(
+                "method {} not allowed for {}",
+                request.method, request.path
+            )))
+        } else {
+            Err(ApiError::not_found(format!("no route for {}", request.path)))
+        }
+    }
+}
+
+fn split(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|s| !s.is_empty())
+}
+
+fn match_segments(pattern: &[Segment], path: &str) -> Option<PathParams> {
+    let mut params = PathParams::default();
+    let mut actual = split(path);
+    for seg in pattern {
+        let got = actual.next()?;
+        match seg {
+            Segment::Literal(lit) => {
+                if lit != got {
+                    return None;
+                }
+            }
+            Segment::Capture(name) => {
+                params.params.push((name.clone(), got.to_string()));
+            }
+        }
+    }
+    if actual.next().is_some() {
+        return None;
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn router() -> Router<()> {
+        Router::new()
+            .get("/health", |_, _, _| Ok(Response::json(200, "{}")))
+            .get("/tree/pattern/:metric", |_, _, p| {
+                Ok(Response::json(200, format!(r#"{{"metric":"{}"}}"#, p.get("metric").unwrap())))
+            })
+            .get("/fingerprint/:cuisine", |_, _, p| {
+                Ok(Response::json(200, p.get("cuisine").unwrap().to_string()))
+            })
+    }
+
+    #[test]
+    fn literal_and_capture_routes_match() {
+        let r = router();
+        assert_eq!(r.dispatch(&(), &req("GET", "/health")).unwrap().status, 200);
+        let resp = r.dispatch(&(), &req("GET", "/tree/pattern/cosine")).unwrap();
+        assert_eq!(resp.body, br#"{"metric":"cosine"}"#);
+        let resp = r.dispatch(&(), &req("GET", "/fingerprint/Indian Subcontinent")).unwrap();
+        assert_eq!(resp.body, b"Indian Subcontinent");
+    }
+
+    #[test]
+    fn unknown_path_is_404_wrong_method_is_405() {
+        let r = router();
+        assert_eq!(r.dispatch(&(), &req("GET", "/nope")).unwrap_err().status, 404);
+        assert_eq!(r.dispatch(&(), &req("POST", "/health")).unwrap_err().status, 405);
+        // Too many / too few segments fall through to 404.
+        assert_eq!(r.dispatch(&(), &req("GET", "/tree/pattern")).unwrap_err().status, 404);
+        assert_eq!(
+            r.dispatch(&(), &req("GET", "/tree/pattern/cosine/extra")).unwrap_err().status,
+            404
+        );
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        let r = router();
+        assert_eq!(r.dispatch(&(), &req("GET", "/health/")).unwrap().status, 200);
+    }
+}

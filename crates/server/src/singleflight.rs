@@ -1,0 +1,156 @@
+//! Single-flight deduplication of concurrent identical builds.
+//!
+//! When N threads ask for the same key at once, exactly one runs the
+//! builder; the others block on a condvar and share the leader's
+//! `Arc` result. A leader that panics wakes the waiters, and one of
+//! them takes over as the new leader — no key is ever poisoned.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Flight<V> {
+    done: Mutex<Option<Arc<V>>>,
+    cond: Condvar,
+}
+
+/// Deduplicates concurrent calls per key.
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
+    /// An empty flight table.
+    pub fn new() -> Self {
+        SingleFlight { inflight: Mutex::new(HashMap::new()) }
+    }
+
+    /// Run `build` for `key`, unless another thread is already running
+    /// it — then wait and share that thread's result instead.
+    pub fn work<F>(&self, key: &K, build: F) -> Arc<V>
+    where
+        F: FnOnce() -> V,
+    {
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cond: Condvar::new(),
+                    });
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            // Guard: if `build` panics, still deregister the flight and
+            // wake waiters so they can elect a new leader.
+            struct Cleanup<'a, K: Eq + Hash, V> {
+                sf: &'a SingleFlight<K, V>,
+                key: &'a K,
+                flight: &'a Flight<V>,
+            }
+            impl<K: Eq + Hash, V> Drop for Cleanup<'_, K, V> {
+                fn drop(&mut self) {
+                    self.sf.inflight.lock().unwrap().remove(self.key);
+                    self.flight.cond.notify_all();
+                }
+            }
+            let cleanup = Cleanup { sf: self, key, flight: &flight };
+            let value = Arc::new(build());
+            *flight.done.lock().unwrap() = Some(Arc::clone(&value));
+            drop(cleanup);
+            value
+        } else {
+            let mut done = flight.done.lock().unwrap();
+            loop {
+                if let Some(value) = done.as_ref() {
+                    return Arc::clone(value);
+                }
+                // Woken with no value: the leader panicked. Retry from
+                // the top — the flight entry is gone, so some waiter
+                // becomes the new leader.
+                let dropped = {
+                    let inflight = self.inflight.lock().unwrap();
+                    !inflight
+                        .get(key)
+                        .is_some_and(|f| Arc::ptr_eq(f, &flight))
+                };
+                if dropped {
+                    drop(done);
+                    return self.work(key, build);
+                }
+                done = flight.cond.wait(done).unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn concurrent_callers_share_one_build() {
+        let sf = Arc::new(SingleFlight::<String, u64>::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let builds = Arc::clone(&builds);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    *sf.work(&"key".to_string(), || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(50));
+                        42u64
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let sf = SingleFlight::<u32, u32>::new();
+        assert_eq!(*sf.work(&1, || 10), 10);
+        assert_eq!(*sf.work(&2, || 20), 20);
+        // Key 1 has completed, so a new call builds again.
+        assert_eq!(*sf.work(&1, || 11), 11);
+    }
+
+    #[test]
+    fn leader_panic_elects_new_leader() {
+        let sf = Arc::new(SingleFlight::<String, u32>::new());
+        let sf2 = Arc::clone(&sf);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sf2.work(&"k".to_string(), || panic!("leader died"));
+            }));
+            assert!(result.is_err());
+        });
+        // Give the leader time to claim the flight, then join as waiter.
+        std::thread::sleep(Duration::from_millis(20));
+        let value = sf.work(&"k".to_string(), || 7);
+        panicker.join().unwrap();
+        assert_eq!(*value, 7);
+    }
+}

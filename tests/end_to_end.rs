@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 
 fn atlas() -> &'static CuisineAtlas {
     static ATLAS: OnceLock<CuisineAtlas> = OnceLock::new();
-    ATLAS.get_or_init(|| CuisineAtlas::build(&AtlasConfig::quick(2024)))
+    ATLAS.get_or_init(|| CuisineAtlas::build(&AtlasConfig::quick(2025)))
 }
 
 #[test]

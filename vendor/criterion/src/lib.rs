@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the macro and builder surface the bench crate uses
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`]) but measures with a plain wall-clock
+//! loop: per benchmark it runs a short warm-up, then `sample_size`
+//! timed samples, and prints mean/min/max to stdout. No statistical
+//! analysis, no HTML reports, no comparison against saved baselines.
+//!
+//! Pass `--quick` (or set `CRITERION_QUICK=1`) to run every benchmark
+//! for exactly one iteration — a smoke test that the bench code still
+//! works.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (configuration lives on the groups).
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            quick: self.quick,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run per-benchmark configuration and teardown (no-op here; exists
+    /// for API parity).
+    pub fn final_summary(&self) {}
+}
+
+/// Expected work per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (the group name gives context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    quick: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental; parity no-op).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+        if self.quick {
+            f(&mut b);
+            println!("  {id}: ok ({} iter, quick mode)", b.iterations.max(1));
+            return;
+        }
+        // Warm-up sample, then timed samples.
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iterations = 0;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iterations.max(1) as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {id}: mean {} (min {}, max {}){rate}",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (the shim runs exactly one
+    /// iteration per sample; criterion's adaptive batching is omitted).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        drop(out);
+    }
+}
+
+/// Prevent the optimizer from deleting a value (std-backed).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a named runner group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_counts_iterations() {
+        let mut c = Criterion { quick: true };
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("inc", |b| b.iter(|| hits += 1));
+            g.finish();
+        }
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("0.20").to_string(), "0.20");
+    }
+
+    #[test]
+    fn full_mode_produces_samples() {
+        let mut c = Criterion { quick: false };
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(4))
+            .bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+                b.iter(|| xs.iter().sum::<u64>())
+            });
+        g.finish();
+    }
+}

@@ -1,0 +1,344 @@
+//! MPMC channels with crossbeam's API shape and disconnect semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a bounded channel of capacity `cap`.
+///
+/// A zero capacity is rounded up to one (the real crossbeam implements a
+/// rendezvous channel for zero; the worker pool here never uses it).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    make(Some(cap.max(1)))
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Error returned when sending into a channel with no receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by `try_send`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error returned when receiving from an empty channel with no senders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by `try_recv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by `recv_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived in time.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// The sending half; clonable (multi-producer).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; clonable (multi-consumer).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().senders += 1;
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake receivers so they observe the disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().receivers += 1;
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(value);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.chan.not_full.wait(inner).unwrap();
+        }
+    }
+
+    /// Send without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking while the channel is empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.chan.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        match inner.queue.pop_front() {
+            Some(v) => {
+                self.chan.not_full.notify_one();
+                Ok(v)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .chan
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Drain the channel as an iterator that ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// Number of queued messages (snapshot).
+    pub fn len(&self) -> usize {
+        self.chan.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                tx.send(3).unwrap(); // must block until a recv frees a slot
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        });
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_every_message_once() {
+        let (tx, rx) = bounded(8);
+        let n_senders = 4;
+        let per_sender = 250;
+        let received = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..n_senders {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_sender {
+                        tx.send(t * per_sender + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let received = &received;
+                s.spawn(move || {
+                    for v in rx.iter() {
+                        received.lock().unwrap().push(v);
+                    }
+                });
+            }
+        });
+        let mut got = received.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..n_senders * per_sender).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for `crossbeam`, covering the workspace's surface:
+//!
+//! * [`scope`] — scoped threads, delegating to `std::thread::scope`
+//!   (available since Rust 1.63, which post-dates crossbeam's original
+//!   motivation) behind crossbeam's `Result`-returning signature;
+//! * [`channel`] — MPMC bounded/unbounded channels built on
+//!   `Mutex<VecDeque>` + `Condvar`, with crossbeam's disconnect
+//!   semantics.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod channel;
+
+/// A scope in which child threads may borrow from the enclosing stack
+/// frame (mirror of `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result (`Err` on
+    /// panic, with the panic payload).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handoff = Scope { inner: self.inner };
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&handoff)) }
+    }
+}
+
+/// Run `f` with a scope handle; all threads spawned in the scope are
+/// joined before `scope` returns. Returns `Err` when `f` (or an
+/// unhandled child panic propagated through joins) panicked — the same
+/// observable contract as `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias, matching the real crate layout.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads_and_borrows_stack() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
+                .collect();
+            handles.into_iter().filter_map(|h| h.join().ok()).count()
+        })
+        .unwrap();
+        assert_eq!(out, 8);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_via_reentrant_scope_handle() {
+        let v = super::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn panic_in_scope_body_is_an_err() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("child"));
+            h.join().expect("propagate");
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same macro surface (`proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, `prop_oneof!`) and strategy combinators the workspace
+//! uses (ranges, `Just`, tuples, `prop::collection::vec`, `prop_map`),
+//! but with plain seeded random sampling: **no shrinking** — a failing
+//! case panics with the values baked into the assertion message instead
+//! of a minimised counterexample. Case counts honour
+//! `ProptestConfig::with_cases`. Runs are deterministic per test
+//! (fixed base seed + case index).
+
+pub mod strategy;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Mirror of proptest's `Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Strategy namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// The things a test module needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: same grammar as proptest's macro for the
+/// `name(binding in strategy, ...)` form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                // Deterministic per-test seed: stable across runs, distinct
+                // across test names.
+                let mut __seed: u64 = 0xcbf29ce484222325;
+                for b in stringify!($name).bytes() {
+                    __seed ^= b as u64;
+                    __seed = __seed.wrapping_mul(0x100000001b3);
+                }
+                for __case in 0..config.cases {
+                    let mut __rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                        __seed ^ (__case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    let __outcome: ::std::result::Result<(), ()> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (panics; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies of one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}

@@ -1,0 +1,286 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] knows how to draw one value from a seeded RNG. This is
+//! the generation half of proptest's trait (no `ValueTree`, no
+//! shrinking), covering the combinators used by the workspace: numeric
+//! ranges, [`Just`], tuples, [`vec`], [`Strategy::prop_map`] and
+//! [`Union`] (via `prop_oneof!`).
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Something that can generate values of type `Value` from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter generated values; draws are retried (bounded) until `f`
+    /// accepts one.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, whence }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+    {
+        BoxedStrategy { inner: Arc::new(self) }
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Strategy<Value = T> + Send + Sync>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: no value accepted after 1000 draws ({})", self.whence);
+    }
+}
+
+/// Uniform choice among several strategies of one value type
+/// (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// A union over `options`, each equally likely.
+    ///
+    /// # Panics
+    /// If `options` is empty.
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// A strategy producing `Vec`s of values from `element`
+/// (`prop::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Output of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&x));
+            let f = (-2.0f64..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_and_elements_in_range() {
+        let s = vec(0u32..5, 2..7);
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = s.generate(&mut r);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = vec(0u32..5, 3usize);
+        assert_eq!(fixed.generate(&mut r).len(), 3);
+    }
+
+    #[test]
+    fn map_union_tuple_and_just_compose() {
+        let s = (0usize..3, Just(10u32)).prop_map(|(a, b)| a as u32 + b);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((10..13).contains(&v));
+        }
+        let u = Union::new(vec![Just(1), Just(2)]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let s = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The JSON-shaped value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON number: integers keep their exact representation, everything
+/// else is an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+/// An order-preserving string-keyed map (JSON object).
+///
+/// Lookups are linear scans, which is the right trade-off for the small
+/// objects produced by struct serialization; order preservation makes
+/// serialized output deterministic, which the atlas cache relies on for
+/// byte-identical repeated responses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert (or replace) a key.
+    pub fn insert(&mut self, key: String, value: Value) {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// The first entry (used for single-key enum-variant objects).
+    pub fn first(&self) -> Option<(&String, &Value)> {
+        self.entries.first().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The object form, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array form, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string form, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64` (accepts any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::F64(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer value as `i128` (exact; rejects floats with fractions).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n as i128),
+            Value::Number(Number::U64(n)) => Some(*n as i128),
+            Value::Number(Number::F64(n)) if n.fract() == 0.0 && n.is_finite() => {
+                Some(*n as i128)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_i128().and_then(|n| i64::try_from(n).ok())
+    }
+
+    /// Unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i128().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// Boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member access, `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        out
+    }
+
+    /// Serialize to pretty-printed JSON text (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, Some(2), 0);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// `value["key"]` — panics when the key is absent (matches `serde_json`
+/// only loosely: reads of absent keys panic instead of returning null).
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no key {key:?} in value"))
+    }
+}
+
+/// `value["key"] = ...` — inserts the key when absent.
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => {
+                if m.get(key).is_none() {
+                    m.insert(key.to_string(), Value::Null);
+                }
+                m.get_mut(key).unwrap()
+            }
+            _ => panic!("cannot index non-object value with a string key"),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => &a[idx],
+            _ => panic!("cannot index non-array value with {idx}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            _ => panic!("cannot index non-array value with {idx}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    use std::fmt::Write;
+    match n {
+        Number::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::F64(f) => {
+            if f.is_finite() {
+                // Rust's Display prints the shortest round-tripping form.
+                let _ = write!(out, "{f}");
+            } else {
+                // JSON has no NaN/Infinity; serde_json emits null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Null);
+        m.insert("a".into(), Value::Bool(true));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn display_escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn float_display_round_trips_integral_values() {
+        let v = Value::Number(Number::F64(1.0));
+        assert_eq!(v.to_string(), "1");
+        assert_eq!(Value::Number(Number::F64(0.25)).to_string(), "0.25");
+    }
+
+    #[test]
+    fn index_mut_inserts_missing_keys() {
+        let mut v = Value::Object(Map::new());
+        v["x"] = Value::Bool(true);
+        assert_eq!(v["x"], Value::Bool(true));
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, without `syn`/`quote` (parsing is
+//! done directly over `proc_macro::TokenTree`s, code generation via
+//! string building):
+//!
+//! * structs with named fields ⇒ JSON objects;
+//! * newtype tuple structs ⇒ transparent (the inner value);
+//! * longer tuple structs ⇒ JSON arrays;
+//! * enums with unit variants ⇒ `"Variant"` strings;
+//! * enums with tuple/struct variants ⇒ `{"Variant": ...}` objects
+//!   (serde's externally-tagged default);
+//! * `#[serde(skip)]` on named fields (omitted on write, `Default` on
+//!   read).
+//!
+//! Generic types and the rest of serde's attribute language are
+//! intentionally unsupported and produce a compile error naming the
+//! limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,   // named field name, or tuple index as a string
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match ident_at(&toks, i) {
+        Some(k) if k == "struct" || k == "enum" => {
+            i += 1;
+            k
+        }
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    let name = ident_at(&toks, i).ok_or("serde_derive: expected type name")?;
+    i += 1;
+
+    // Reject generics: none of the workspace's serialized types need them.
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+
+    let shape = if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            _ => return Err("serde_derive: malformed struct body".into()),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("serde_derive: malformed enum body".into()),
+        }
+    };
+
+    Ok(Input { name, shape })
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attribute groups, reporting whether any was `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if is_serde_skip(g.stream()) {
+                skip = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+fn is_serde_skip(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(ident_at(toks, *i).as_deref(), Some("pub")) {
+        *i += 1;
+        // `pub(crate)` / `pub(in ...)`.
+        if matches!(&toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parse `{ name: Type, ... }` field lists, honouring `#[serde(skip)]`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = ident_at(&toks, i).ok_or("serde_derive: expected field name")?;
+        i += 1;
+        match &toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive: expected `:` after field `{name}`")),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, skip });
+        // Consume the trailing comma, if any.
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a top-level (angle-depth 0) comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Count fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = ident_at(&toks, i).ok_or("serde_derive: expected variant name")?;
+        i += 1;
+        let shape = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde_derive shim: explicit discriminants are not supported".into());
+        }
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "map.insert({n:?}.to_string(), ::serde::Serialize::serialize(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binders}) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert({vn:?}.to_string(), {inner});\n\
+                             ::serde::Value::Object(map)\n\
+                             }}\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "inner.insert({n:?}.to_string(), ::serde::Serialize::serialize({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => {{\n\
+                             {inner}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert({vn:?}.to_string(), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n\
+                             }}\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::__de_field(obj, {n:?}, {name:?})?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(format!(\"expected {{}} elements for {name}, got {{}}\", {n}, items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v;\n::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{\n\
+                                 let items = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                                 if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array\", {name:?})); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                                 }}",
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("{vn:?} => {ctor},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: ::serde::__de_field(obj, {n:?}, {name:?})?,\n",
+                                    n = f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let obj = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", {name:?}))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let (key, inner) = m.first().ok_or_else(|| ::serde::Error::expected(\"variant object\", {name:?}))?;\n\
+                 let _ = inner;\n\
+                 match key.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\"string or single-key object\", {name:?})),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for `serde_json`: a strict JSON text layer over the
+//! `serde` shim's [`Value`] tree.
+//!
+//! Supports the workspace's surface: [`to_string`], [`to_string_pretty`],
+//! [`to_vec`], [`to_writer`], [`from_str`], [`from_slice`],
+//! [`from_reader`], [`to_value`], [`from_value`], the [`json!`] macro and
+//! [`Value`] indexing.
+
+use std::io::{Read, Write};
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+/// `Result` alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json())
+}
+
+/// Serialize a value to pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json_pretty())
+}
+
+/// Serialize a value to a JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serialize a value as JSON into a writer.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer
+        .write_all(to_string(value)?.as_bytes())
+        .map_err(|e| Error::msg(format!("write error: {e}")))
+}
+
+/// Parse JSON text into a value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::deserialize(&value)
+}
+
+/// Parse JSON bytes into a value.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Read a value as JSON from a reader.
+pub fn from_reader<R: Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::msg(format!("read error: {e}")))?;
+    from_str(&buf)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+/// Rebuild a deserializable value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::deserialize(value)
+}
+
+/// Build a [`Value`] from a JSON-ish literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! literal serialization")
+    };
+}
+
+/// Parse a JSON document into a [`Value`] (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Decode one UTF-8 scalar from the source.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("bad number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("42").unwrap(), Value::Number(Number::I64(42)));
+        assert_eq!(parse_value("-7").unwrap(), Value::Number(Number::I64(-7)));
+        assert_eq!(
+            parse_value("2.5e2").unwrap(),
+            Value::Number(Number::F64(250.0))
+        );
+        assert_eq!(
+            parse_value("\"a\\nb\"").unwrap(),
+            Value::String("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{not json", "[1,2", "{\"a\":}", "tru", "1 2", "", "\"\\x\""] {
+            assert!(parse_value(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let text = r#"{"a":[1,2.5,"x"],"b":{"c":null,"d":false}}"#;
+        let v = parse_value(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = parse_value(r#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "é😀");
+    }
+
+    #[test]
+    fn json_macro_builds_values() {
+        let v = json!({"n": 99, "list": [1, 2], "flag": true, "nothing": null});
+        assert_eq!(v["n"].as_u64(), Some(99));
+        assert_eq!(v["list"][1].as_u64(), Some(2));
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_value(&deep).is_err());
+    }
+}
