@@ -1,0 +1,98 @@
+//! B5 — the cold atlas build, sequential vs parallel.
+//!
+//! `atlas_build_quick` and `atlas_build_scale_0.2` time the full
+//! `CuisineAtlas::build` (generate → mine → features → pdist) at the
+//! test-suite quick scale and at 20% of the paper's corpus, once with a
+//! single worker and once with every available core. The two builds are
+//! bit-for-bit identical (see `cuisine_atlas::pipeline`), so the pair of
+//! numbers is a pure speedup measurement. `stage_timings` prints the
+//! per-stage wall-clock breakdown for each thread count — the same
+//! numbers `repro --bench-json` writes to `BENCH_atlas_build.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use recipedb::generator::GeneratorConfig;
+
+fn quick_config() -> AtlasConfig {
+    AtlasConfig::quick(7)
+}
+
+fn scale20_config() -> AtlasConfig {
+    let mut corpus = GeneratorConfig::paper_scale(0.2).with_seed(7);
+    corpus.min_recipes_per_cuisine = 300;
+    AtlasConfig { corpus, ..AtlasConfig::paper() }
+}
+
+/// Thread counts worth measuring on this host: sequential, two workers,
+/// and everything (deduplicated — on a single-core host this is `[1, 2]`
+/// and the parallel numbers measure overhead, not speedup).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, par::available()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn bench_scale(c: &mut Criterion, name: &str, config: &AtlasConfig, samples: usize) {
+    let mut group = c.benchmark_group(format!("atlas_build_{name}"));
+    group.sample_size(samples);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("cold_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(CuisineAtlas::build(
+                        &config.clone().with_build_threads(threads),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn atlas_build_quick(c: &mut Criterion) {
+    bench_scale(c, "quick", &quick_config(), 3);
+}
+
+fn atlas_build_scale20(c: &mut Criterion) {
+    bench_scale(c, "scale_0.2", &scale20_config(), 2);
+}
+
+/// Not a timing loop: one cold build per thread count, reporting the
+/// per-stage breakdown recorded by the pipeline itself.
+fn stage_timings(c: &mut Criterion) {
+    let config = quick_config();
+    let mut group = c.benchmark_group("atlas_build_stages_quick");
+    group.sample_size(1);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("stages", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let atlas =
+                        CuisineAtlas::build(&config.clone().with_build_threads(threads));
+                    let t = atlas.timings();
+                    println!(
+                        "    threads {threads}: generate {:.0} ms, mine {:.0} ms, \
+                         features {:.0} ms, pdist {:.0} ms (total {:.0} ms)",
+                        t.generate_ms,
+                        t.mine_ms,
+                        t.features_ms,
+                        t.pdist_ms,
+                        t.total_ms()
+                    );
+                    black_box(atlas)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, atlas_build_quick, atlas_build_scale20, stage_timings);
+criterion_main!(benches);

@@ -1,15 +1,23 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--linkage METHOD] [--json] [EXPERIMENT...]
+//! repro [--scale S] [--seed N] [--linkage METHOD] [--build-threads N]
+//!       [--json] [--bench-json [PATH]] [EXPERIMENT...]
 //!
 //! EXPERIMENT: table1 figure1 figure2 figure3 figure4 figure5 figure6
 //!             validate extensions stats all        (default: all)
 //! --scale S   corpus scale vs the paper's 118k recipes (default 1.0)
 //! --seed N    generator seed (default 42)
 //! --linkage M single|complete|average|weighted|ward (default average)
+//! --build-threads N  worker threads for the atlas build; 0 = all
+//!             available cores (default). Results are identical for
+//!             every thread count — only wall-clock changes.
 //! --json      emit the machine-readable views (cuisine_atlas::views)
 //!             instead of the text reports
+//! --bench-json [PATH]  skip the experiments; time cold atlas builds at
+//!             the configured scale for thread counts 1, 2 and all
+//!             cores, and write per-stage wall-clock entries to PATH
+//!             (default BENCH_atlas_build.json)
 //! ```
 
 use std::process::ExitCode;
@@ -21,12 +29,15 @@ use cuisine_atlas::experiments;
 use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
 use cuisine_atlas::views::{AgreementView, ElbowView, Table1View, TreeView};
 use recipedb::generator::GeneratorConfig;
+use serde_json::json;
 
 struct Options {
     scale: f64,
     seed: u64,
     linkage: LinkageMethod,
+    build_threads: usize,
     json: bool,
+    bench_json: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -35,10 +46,12 @@ fn parse_args() -> Result<Options, String> {
         scale: 1.0,
         seed: 42,
         linkage: LinkageMethod::Average,
+        build_threads: 0,
         json: false,
+        bench_json: None,
         experiments: Vec::new(),
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -63,10 +76,30 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown linkage {other}")),
                 };
             }
+            "--build-threads" => {
+                let v = args.next().ok_or("--build-threads needs a value")?;
+                opts.build_threads =
+                    v.parse().map_err(|e| format!("bad --build-threads {v}: {e}"))?;
+            }
             "--json" => opts.json = true,
+            "--bench-json" => {
+                // Optional PATH operand; next bare non-flag, non-experiment
+                // token with a path-ish shape is taken as the output file.
+                let path = match args.peek() {
+                    Some(next)
+                        if !next.starts_with("--")
+                            && (next.ends_with(".json") || next.contains('/')) =>
+                    {
+                        args.next().unwrap()
+                    }
+                    _ => "BENCH_atlas_build.json".to_string(),
+                };
+                opts.bench_json = Some(path);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [--scale S] [--seed N] [--linkage M] [--json] [EXPERIMENT...]"
+                    "usage: repro [--scale S] [--seed N] [--linkage M] [--build-threads N] \
+                     [--json] [--bench-json [PATH]] [EXPERIMENT...]"
                         .into(),
                 )
             }
@@ -95,14 +128,20 @@ fn main() -> ExitCode {
         corpus,
         ..AtlasConfig::paper()
     }
-    .with_linkage(opts.linkage);
+    .with_linkage(opts.linkage)
+    .with_build_threads(opts.build_threads);
+
+    if let Some(path) = &opts.bench_json {
+        return run_bench_json(&config, &opts, path);
+    }
 
     eprintln!(
-        "building atlas: scale {} (~{} recipes), seed {}, linkage {} ...",
+        "building atlas: scale {} (~{} recipes), seed {}, linkage {}, {} build thread(s) ...",
         opts.scale,
         config.corpus.total_recipes(),
         opts.seed,
-        opts.linkage
+        opts.linkage,
+        config.effective_build_threads(),
     );
     let atlas = CuisineAtlas::build(&config);
 
@@ -131,6 +170,57 @@ fn main() -> ExitCode {
         };
         println!("{out}");
     }
+    ExitCode::SUCCESS
+}
+
+/// `--bench-json`: time one cold atlas build per thread count (1, 2 and
+/// all cores, deduplicated) at the configured scale and write the
+/// per-stage wall-clock trajectory as flat JSON entries. The honest
+/// companion to `benches/atlas_build.rs` for tracking the parallel
+/// build across commits and machines.
+fn run_bench_json(config: &AtlasConfig, opts: &Options, path: &str) -> ExitCode {
+    let host_threads = par::available();
+    let mut thread_counts = vec![1, 2, host_threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut entries = Vec::new();
+    for &threads in &thread_counts {
+        eprintln!(
+            "bench: cold build at scale {} with {threads} thread(s) ...",
+            opts.scale
+        );
+        let atlas = CuisineAtlas::build(&config.clone().with_build_threads(threads));
+        let t = atlas.timings();
+        for (stage, wall_ms) in [
+            ("generate", t.generate_ms),
+            ("mine", t.mine_ms),
+            ("features", t.features_ms),
+            ("pdist", t.pdist_ms),
+            ("total", t.total_ms()),
+        ] {
+            entries.push(json!({
+                "stage": stage,
+                "scale": (opts.scale),
+                "threads": threads,
+                "wall_ms": wall_ms,
+            }));
+        }
+        eprintln!("bench: {threads} thread(s): total {:.0} ms", t.total_ms());
+    }
+
+    let doc = json!({
+        "benchmark": "atlas_build",
+        "host_threads": host_threads,
+        "seed": (opts.seed),
+        "entries": entries,
+    });
+    let body = serde_json::to_string_pretty(&doc).unwrap();
+    if let Err(e) = std::fs::write(path, body + "\n") {
+        eprintln!("writing {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {path}");
     ExitCode::SUCCESS
 }
 

@@ -178,9 +178,24 @@ fn lloyd(points: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut StdRng) -> KM
 
 /// WCSS for each `k` in `1..=k_max` — the elbow curve of Figure 1.
 pub fn elbow_sweep(points: &[Vec<f64>], k_max: usize, seed: u64) -> Vec<f64> {
-    (1..=k_max.min(points.len()))
-        .map(|k| kmeans(points, &KMeansConfig::new(k).with_seed(seed)).wcss)
-        .collect()
+    elbow_sweep_threads(points, k_max, seed, 1)
+}
+
+/// [`elbow_sweep`] over `threads` workers: each k's run is independently
+/// seeded (`seed` plus the restart offset), so every k produces the exact
+/// sequential result and the curve is identical for any thread count.
+/// Larger k costs more, so k values are claimed in descending order.
+pub fn elbow_sweep_threads(
+    points: &[Vec<f64>],
+    k_max: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
+    let n_k = k_max.min(points.len());
+    let claim_order: Vec<usize> = (0..n_k).rev().collect();
+    par::map_claiming(threads, &claim_order, |i| {
+        kmeans(points, &KMeansConfig::new(i + 1).with_seed(seed)).wcss
+    })
 }
 
 /// Quantify how sharp the elbow of a WCSS curve is: the maximum normalized
@@ -280,6 +295,21 @@ mod tests {
         let curve = elbow_sweep(&pts, 8, 5);
         let (_, strength) = elbow_strength(&curve).expect("curve long enough");
         assert!(strength < 0.2, "structureless data must have weak elbow, got {strength}");
+    }
+
+    #[test]
+    fn elbow_sweep_threads_matches_sequential_exactly() {
+        let pts: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i as f64 * 1.3).sin() * 5.0, (i as f64 * 0.7).cos() * 5.0])
+            .collect();
+        let seq = elbow_sweep(&pts, 8, 11);
+        for threads in [2, 3, 8] {
+            let par = elbow_sweep_threads(&pts, 8, 11, threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,18 @@ use std::collections::{HashMap, HashSet};
 use pattern_mining::filter::closed;
 use pattern_mining::fpgrowth::FpGrowth;
 use pattern_mining::itemset::FrequentItemset;
+use pattern_mining::parallel::ParallelFpGrowth;
 use pattern_mining::transaction::TransactionDb;
 use pattern_mining::Miner;
 use recipedb::catalog::TokenId;
 use recipedb::{Cuisine, RecipeDb};
+
+/// Cuisines with at least this many recipes additionally split their own
+/// FP-Growth run across threads (the per-cuisine fan-out alone leaves the
+/// largest conditional trees of a huge cuisine as the critical path).
+const LARGE_CUISINE_RECIPES: usize = 4096;
+/// Inner-thread cap for one large cuisine's [`ParallelFpGrowth`].
+const MAX_INNER_MINE_THREADS: usize = 4;
 
 /// The mined frequent itemsets of one cuisine.
 #[derive(Debug, Clone)]
@@ -40,6 +48,19 @@ pub struct CuisinePatterns {
 impl CuisinePatterns {
     /// Mine one cuisine from the corpus with FP-Growth.
     pub fn mine(db: &RecipeDb, cuisine: Cuisine, min_support: f64) -> Self {
+        Self::mine_with_threads(db, cuisine, min_support, 1)
+    }
+
+    /// Mine one cuisine, splitting the FP-Growth conditional-tree work
+    /// across `threads` workers when `threads > 1`. The parallel miner
+    /// reproduces the sequential miner's output exactly (itemsets, counts
+    /// *and* order), so results never depend on the thread count.
+    pub fn mine_with_threads(
+        db: &RecipeDb,
+        cuisine: Cuisine,
+        min_support: f64,
+        threads: usize,
+    ) -> Self {
         let rows: Vec<Vec<u32>> = db
             .transactions_for(cuisine)
             .into_iter()
@@ -49,6 +70,8 @@ impl CuisinePatterns {
         let tdb = TransactionDb::from_rows(rows);
         let itemsets = if n_recipes == 0 {
             Vec::new()
+        } else if threads > 1 {
+            ParallelFpGrowth::new(min_support, threads).mine(&tdb)
         } else {
             FpGrowth::new(min_support).mine(&tdb)
         };
@@ -85,10 +108,40 @@ impl CuisinePatterns {
 
 /// Mine every cuisine in Table I order.
 pub fn mine_all(db: &RecipeDb, min_support: f64) -> Vec<CuisinePatterns> {
-    Cuisine::ALL
+    mine_all_threads(db, min_support, 1)
+}
+
+/// Mine every cuisine in Table I order, fanned out over `threads`
+/// workers. Cuisines are claimed largest-first (recipe counts span
+/// Korean's 668 to Italian's 16k at full scale), and cuisines above
+/// [`LARGE_CUISINE_RECIPES`] recipes additionally run the multi-threaded
+/// FP-Growth so the biggest mining job cannot dominate the critical path.
+/// Output is identical to [`mine_all`] for any thread count.
+pub fn mine_all_threads(
+    db: &RecipeDb,
+    min_support: f64,
+    threads: usize,
+) -> Vec<CuisinePatterns> {
+    if threads <= 1 {
+        return Cuisine::ALL
+            .iter()
+            .map(|&c| CuisinePatterns::mine(db, c, min_support))
+            .collect();
+    }
+    let costs: Vec<u64> = Cuisine::ALL
         .iter()
-        .map(|&c| CuisinePatterns::mine(db, c, min_support))
-        .collect()
+        .map(|&c| db.recipes_in(c) as u64)
+        .collect();
+    let claim_order = par::descending_cost_order(&costs);
+    par::map_claiming(threads, &claim_order, |i| {
+        let cuisine = Cuisine::ALL[i];
+        let inner = if db.recipes_in(cuisine) >= LARGE_CUISINE_RECIPES {
+            threads.min(MAX_INNER_MINE_THREADS)
+        } else {
+            1
+        };
+        CuisinePatterns::mine_with_threads(db, cuisine, min_support, inner)
+    })
 }
 
 /// Items that clear the support threshold in at least
@@ -183,6 +236,21 @@ mod tests {
                 cp.cuisine,
                 cp.pattern_count()
             );
+        }
+    }
+
+    #[test]
+    fn mine_all_threads_is_identical_to_sequential() {
+        let db = small_db();
+        let seq = mine_all(&db, 0.2);
+        for threads in [2, 8] {
+            let par = mine_all_threads(&db, 0.2, threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.cuisine, b.cuisine);
+                assert_eq!(a.n_recipes, b.n_recipes);
+                assert_eq!(a.itemsets, b.itemsets, "{}: threads {threads}", a.cuisine);
+            }
         }
     }
 

@@ -1,13 +1,29 @@
 //! The end-to-end cuisine-atlas pipeline: corpus → mining → features →
 //! trees. This is the programmatic API behind every table and figure.
+//!
+//! # Parallelism and determinism
+//!
+//! Every stage of [`CuisineAtlas::build`] fans out over
+//! [`AtlasConfig::build_threads`] workers — corpus generation (one RNG
+//! stream per cuisine, reassembled in fixed order), per-cuisine FP-Growth
+//! mining (largest cuisines first, huge ones split across conditional
+//! trees), pairwise-distance matrices (row-parallel `pdist`) and the
+//! elbow sweep (one worker per k). Each parallel stage is **byte-identical
+//! to its sequential counterpart**: thread count is a pure wall-clock
+//! knob, never an input to any result (see DESIGN.md §"Determinism under
+//! parallelism").
+
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use clustering::condensed::CondensedMatrix;
 use clustering::dendrogram::Dendrogram;
 use clustering::distance::{jaccard_sets, Metric};
 use clustering::hac::{linkage, LinkageMethod};
-use clustering::kmeans::elbow_sweep;
+use clustering::kmeans::elbow_sweep_threads;
 use recipedb::generator::{CorpusGenerator, GeneratorConfig};
 use recipedb::{Cuisine, RecipeDb};
+use serde::{Deserialize, Serialize};
 
 use crate::authenticity::AuthenticityMatrix;
 use crate::features::PatternFeatures;
@@ -28,6 +44,11 @@ pub struct AtlasConfig {
     pub generic_fraction: f64,
     /// Significant patterns listed per cuisine in Table I.
     pub top_k: usize,
+    /// Worker threads for the build (corpus generation, mining, distance
+    /// matrices, elbow sweep). `0` means all available parallelism.
+    /// Purely a wall-clock knob: every thread count produces bit-for-bit
+    /// identical corpora, patterns, features and trees.
+    pub build_threads: usize,
 }
 
 impl AtlasConfig {
@@ -39,6 +60,7 @@ impl AtlasConfig {
             linkage: LinkageMethod::Average,
             generic_fraction: 0.5,
             top_k: 3,
+            build_threads: 0,
         }
     }
 
@@ -55,6 +77,66 @@ impl AtlasConfig {
     pub fn with_linkage(mut self, method: LinkageMethod) -> Self {
         self.linkage = method;
         self
+    }
+
+    /// Replace the build thread count (`0` = all available parallelism).
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
+
+    /// The concrete worker count this config builds with.
+    pub fn effective_build_threads(&self) -> usize {
+        par::resolve(self.build_threads)
+    }
+}
+
+/// Wall-clock cost of each [`CuisineAtlas::build`] stage, in
+/// milliseconds. Surfaced by the server's `/health` endpoint and the
+/// `repro --bench-json` trajectory file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildTimings {
+    /// Corpus generation.
+    pub generate_ms: f64,
+    /// Per-cuisine FP-Growth mining.
+    pub mine_ms: f64,
+    /// Pattern-string canonicalisation + feature encoding.
+    pub features_ms: f64,
+    /// Pairwise-distance matrices (three pattern metrics + authenticity).
+    pub pdist_ms: f64,
+}
+
+impl BuildTimings {
+    /// Sum of all stages.
+    pub fn total_ms(&self) -> f64 {
+        self.generate_ms + self.mine_ms + self.features_ms + self.pdist_ms
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Lazily-initialised distance matrices shared by every tree request
+/// against one atlas (the server holds atlases in an LRU cache and grows
+/// trees per request — without this, each request re-ran `pdist`).
+#[derive(Debug, Default)]
+struct DistanceCaches {
+    euclidean: OnceLock<CondensedMatrix>,
+    cosine: OnceLock<CondensedMatrix>,
+    jaccard: OnceLock<CondensedMatrix>,
+    authenticity: OnceLock<crate::authenticity::AuthenticityMatrix>,
+    authenticity_dist: OnceLock<CondensedMatrix>,
+}
+
+impl DistanceCaches {
+    fn pattern_slot(&self, metric: Metric) -> Option<&OnceLock<CondensedMatrix>> {
+        match metric {
+            Metric::Euclidean => Some(&self.euclidean),
+            Metric::Cosine => Some(&self.cosine),
+            Metric::Jaccard => Some(&self.jaccard),
+            _ => None,
+        }
     }
 }
 
@@ -130,20 +212,64 @@ pub struct CuisineAtlas {
     db: RecipeDb,
     patterns: Vec<CuisinePatterns>,
     features: PatternFeatures,
+    caches: DistanceCaches,
+    timings: BuildTimings,
 }
 
 impl CuisineAtlas {
-    /// Generate the corpus described by `config` and build the atlas.
+    /// Generate the corpus described by `config` and build the atlas,
+    /// using [`AtlasConfig::build_threads`] workers for every stage.
     pub fn build(config: &AtlasConfig) -> Self {
-        let db = CorpusGenerator::new(config.corpus.clone()).generate();
-        Self::from_db(db, config)
+        let threads = config.effective_build_threads();
+        let t = Instant::now();
+        let db = CorpusGenerator::new(config.corpus.clone()).generate_with_threads(threads);
+        let generate_ms = ms_since(t);
+        Self::assemble(db, config, generate_ms)
     }
 
     /// Build the atlas over an existing corpus (e.g. loaded from JSON).
     pub fn from_db(db: RecipeDb, config: &AtlasConfig) -> Self {
-        let patterns = patterns::mine_all(&db, config.min_support);
+        Self::assemble(db, config, 0.0)
+    }
+
+    /// Mine, encode, and warm the distance caches, recording per-stage
+    /// wall-clock timings.
+    fn assemble(db: RecipeDb, config: &AtlasConfig, generate_ms: f64) -> Self {
+        let threads = config.effective_build_threads();
+        let t = Instant::now();
+        let patterns = patterns::mine_all_threads(&db, config.min_support, threads);
+        let mine_ms = ms_since(t);
+        let t = Instant::now();
         let features = PatternFeatures::build(&db, &patterns);
-        CuisineAtlas { config: config.clone(), db, patterns, features }
+        let features_ms = ms_since(t);
+        let mut atlas = CuisineAtlas {
+            config: config.clone(),
+            db,
+            patterns,
+            features,
+            caches: DistanceCaches::default(),
+            timings: BuildTimings::default(),
+        };
+        let t = Instant::now();
+        atlas.warm_distance_caches();
+        let pdist_ms = ms_since(t);
+        atlas.timings = BuildTimings { generate_ms, mine_ms, features_ms, pdist_ms };
+        atlas
+    }
+
+    /// Force every cached distance matrix (three pattern metrics + the
+    /// authenticity fingerprints), so tree requests against this atlas
+    /// only pay linkage growth.
+    fn warm_distance_caches(&self) {
+        for metric in [Metric::Euclidean, Metric::Cosine, Metric::Jaccard] {
+            let _ = self.pattern_distances(metric);
+        }
+        let _ = self.authenticity_distances();
+    }
+
+    /// Per-stage wall-clock timings of this atlas's build.
+    pub fn timings(&self) -> BuildTimings {
+        self.timings
     }
 
     /// The corpus.
@@ -190,33 +316,60 @@ impl CuisineAtlas {
     /// **Figures 2–4** — the pattern-based cuisine tree under a metric.
     /// Euclidean and Cosine run on the binary incidence vectors; Jaccard
     /// runs directly on the pattern sets (equivalent to the binary-vector
-    /// form, cheaper).
+    /// form, cheaper). Distance matrices are computed row-parallel on
+    /// first use and cached for the atlas's lifetime.
     pub fn pattern_tree(&self, metric: Metric) -> CuisineTree {
         let description = format!("patterns/{metric}/{}", self.config.linkage);
-        let distances = match metric {
-            Metric::Jaccard => CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
+        CuisineTree::grow(description, self.pattern_distances(metric), self.config.linkage)
+    }
+
+    /// The (cached) pairwise cuisine distances under `metric`.
+    fn pattern_distances(&self, metric: Metric) -> CondensedMatrix {
+        let threads = self.config.effective_build_threads();
+        let compute = || match metric {
+            Metric::Jaccard => CondensedMatrix::par_from_fn(Cuisine::COUNT, threads, |i, j| {
                 jaccard_sets(&self.features.pattern_sets[i], &self.features.pattern_sets[j])
             }),
-            _ => CondensedMatrix::pdist(&self.features.binary, metric),
+            _ => CondensedMatrix::par_pdist(&self.features.binary, metric, threads),
         };
-        CuisineTree::grow(description, distances, self.config.linkage)
+        match self.caches.pattern_slot(metric) {
+            Some(slot) => slot.get_or_init(compute).clone(),
+            None => compute(),
+        }
     }
 
     /// **Figure 5** — the authenticity-based tree over ingredient
     /// relative-prevalence fingerprints (Euclidean distance).
     pub fn authenticity_tree(&self) -> CuisineTree {
-        let matrix = AuthenticityMatrix::ingredients(&self.db);
-        let distances = CondensedMatrix::pdist(&matrix.relative, Metric::Euclidean);
         CuisineTree::grow(
             format!("authenticity/euclidean/{}", self.config.linkage),
-            distances,
+            self.authenticity_distances(),
             self.config.linkage,
         )
     }
 
+    fn authenticity_distances(&self) -> CondensedMatrix {
+        self.caches
+            .authenticity_dist
+            .get_or_init(|| {
+                CondensedMatrix::par_pdist(
+                    &self.cached_authenticity().relative,
+                    Metric::Euclidean,
+                    self.config.effective_build_threads(),
+                )
+            })
+            .clone()
+    }
+
+    fn cached_authenticity(&self) -> &AuthenticityMatrix {
+        self.caches
+            .authenticity
+            .get_or_init(|| AuthenticityMatrix::ingredients(&self.db))
+    }
+
     /// The authenticity matrix itself (fingerprint inspection).
     pub fn authenticity_matrix(&self) -> AuthenticityMatrix {
-        AuthenticityMatrix::ingredients(&self.db)
+        self.cached_authenticity().clone()
     }
 
     /// **Figure 6** — the geographic validation tree.
@@ -230,9 +383,14 @@ impl CuisineAtlas {
     }
 
     /// **Figure 1** — the k-means elbow curve (WCSS for k = 1..=k_max)
-    /// over the binary pattern vectors.
+    /// over the binary pattern vectors, one worker per k.
     pub fn elbow_curve(&self, k_max: usize, seed: u64) -> Vec<f64> {
-        elbow_sweep(&self.features.binary, k_max, seed)
+        elbow_sweep_threads(
+            &self.features.binary,
+            k_max,
+            seed,
+            self.config.effective_build_threads(),
+        )
     }
 }
 

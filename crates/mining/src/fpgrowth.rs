@@ -167,6 +167,24 @@ impl FpTree {
         }
     }
 
+    /// Per-rank mining-cost estimate: the total prefix-path length of the
+    /// rank's conditional pattern base (the work to extract and re-insert
+    /// it). Rare items sit deep in the tree, so cost grows with rank —
+    /// this quantifies the skew so parallel mining can schedule the
+    /// heaviest conditional trees first.
+    pub(crate) fn rank_costs(&self) -> Vec<u64> {
+        // Nodes are appended parent-before-child, so one forward pass
+        // resolves every depth.
+        let mut depth = vec![0u64; self.parent.len()];
+        for i in 1..self.parent.len() {
+            depth[i] = depth[self.parent[i] as usize] + 1;
+        }
+        self.header
+            .iter()
+            .map(|nodes| nodes.iter().map(|&n| depth[n as usize] - 1).sum())
+            .collect()
+    }
+
     /// The prefix-path conditional pattern base of `rank`: for each node of
     /// `rank`, the path of ranks from its parent up to the root, weighted
     /// by the node count.

@@ -5,15 +5,26 @@
 //! are exactly the patterns found by mining `r`'s conditional tree under
 //! suffix `{r}`. The global FP-tree is built once (sequentially — it is a
 //! single linear pass) and shared read-only; worker threads then claim
-//! ranks round-robin and mine their conditional trees independently.
+//! ranks and mine their conditional trees independently.
 //!
-//! The output is the same complete collection [`crate::fpgrowth::FpGrowth`]
-//! produces (asserted by the cross-check tests), in unspecified order.
+//! Two properties matter beyond raw speed:
+//!
+//! * **Determinism** — per-rank results land in per-rank slots and are
+//!   concatenated in the order the sequential miner visits ranks, so the
+//!   output is *exactly* [`crate::fpgrowth::FpGrowth`]'s output — same
+//!   itemsets, same counts, same order — for any thread count (asserted
+//!   by the cross-check tests). Downstream feature encodings can therefore
+//!   swap miners freely without perturbing a single byte.
+//! * **Load balance** — conditional-tree cost is highly skewed: rare
+//!   (high-rank) items sit deep in the tree with long prefix paths, so a
+//!   naive ascending claim order starts the heaviest trees *last* and ends
+//!   the run with one straggler thread grinding through them alone.
+//!   Ranks are instead claimed in descending estimated cost
+//!   ([`FpTree::rank_costs`]: total conditional-base path length), the
+//!   classic longest-processing-time-first heuristic. The claim order
+//!   affects wall-clock only, never the result.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-
-use crate::fpgrowth::{conditional_tree, mine_tree, FpTree};
+use crate::fpgrowth::{conditional_tree, mine_tree, FpGrowth, FpTree};
 use crate::itemset::{FrequentItemset, ItemId, Itemset};
 use crate::transaction::TransactionDb;
 use crate::{min_count, Miner};
@@ -38,8 +49,7 @@ impl ParallelFpGrowth {
 
     /// A miner sized to the machine's available parallelism.
     pub fn with_available_parallelism(min_support: f64) -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self::new(min_support, n)
+        Self::new(min_support, par::available())
     }
 }
 
@@ -57,7 +67,7 @@ impl Miner for ParallelFpGrowth {
         if frequent.is_empty() {
             return Vec::new();
         }
-        let rank: HashMap<ItemId, u32> = frequent
+        let rank: std::collections::HashMap<ItemId, u32> = frequent
             .iter()
             .enumerate()
             .map(|(i, &(item, _))| (item, i as u32))
@@ -73,57 +83,44 @@ impl Miner for ParallelFpGrowth {
             tree.insert(&encoded, 1);
         }
 
-        let n_ranks = frequent.len() as u32;
-        let next_rank = AtomicU32::new(0);
+        // A degenerate single-path tree is emitted via the sequential
+        // miner's subset shortcut, which visits combinations in a
+        // different order than the per-rank partition below; delegate so
+        // the output order stays identical to FpGrowth's.
+        if tree.single_path().is_some() {
+            return FpGrowth::new(self.min_support).mine(db);
+        }
+
+        // One slot per rank, claimed heaviest-first.
+        let claim_order = par::descending_cost_order(&tree.rank_costs());
         let tree_ref = &tree;
         let items_ref = &items_by_rank;
+        let per_rank: Vec<Vec<FrequentItemset>> =
+            par::map_claiming(self.n_threads, &claim_order, |r| {
+                let r = r as u32;
+                let total = tree_ref.totals[r as usize];
+                if total < min_cnt {
+                    return Vec::new();
+                }
+                let mut local: Vec<FrequentItemset> = Vec::new();
+                let mut suffix: Vec<u32> = vec![r];
+                let mut emit = |ranks: &[u32], count: u64| {
+                    let mut items: Vec<ItemId> =
+                        ranks.iter().map(|&rr| items_ref[rr as usize]).collect();
+                    items.sort_unstable();
+                    local.push(FrequentItemset { items: Itemset::from_sorted(items), count });
+                };
+                emit(&suffix, total);
+                if let Some(cond) = conditional_tree(tree_ref, r, min_cnt) {
+                    mine_tree(&cond, min_cnt, None, &mut suffix, &mut emit);
+                }
+                local
+            });
 
-        let mut chunks: Vec<Vec<FrequentItemset>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = (0..self.n_threads)
-                .map(|_| {
-                    let next = &next_rank;
-                    scope.spawn(move |_| {
-                        let mut local: Vec<FrequentItemset> = Vec::new();
-                        let mut suffix: Vec<u32> = Vec::new();
-                        loop {
-                            let r = next.fetch_add(1, Ordering::Relaxed);
-                            if r >= n_ranks {
-                                break;
-                            }
-                            let total = tree_ref.totals[r as usize];
-                            if total < min_cnt {
-                                continue;
-                            }
-                            suffix.clear();
-                            suffix.push(r);
-                            let mut emit = |ranks: &[u32], count: u64| {
-                                let mut items: Vec<ItemId> = ranks
-                                    .iter()
-                                    .map(|&rr| items_ref[rr as usize])
-                                    .collect();
-                                items.sort_unstable();
-                                local.push(FrequentItemset {
-                                    items: Itemset::from_sorted(items),
-                                    count,
-                                });
-                            };
-                            emit(&suffix, total);
-                            if let Some(cond) = conditional_tree(tree_ref, r, min_cnt) {
-                                mine_tree(&cond, min_cnt, None, &mut suffix, &mut emit);
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                chunks.push(h.join().expect("worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-
-        chunks.into_iter().flatten().collect()
+        // Sequential FP-Growth visits ranks in descending order at the
+        // top level; concatenating the slots the same way reproduces its
+        // exact emission order.
+        per_rank.into_iter().rev().flatten().collect()
     }
 
     fn min_support(&self) -> f64 {
@@ -155,6 +152,24 @@ mod tests {
         TransactionDb::from_rows(rows)
     }
 
+    /// A deliberately skewed database: a handful of near-universal items
+    /// plus a long zipf-ish tail, so conditional-tree costs differ by
+    /// orders of magnitude across ranks.
+    fn skewed_db(n: usize) -> TransactionDb {
+        let rows = (0..n)
+            .map(|i| {
+                let mut row: Vec<ItemId> = vec![0, 1];
+                for item in 2..40u32 {
+                    if i % (item as usize) == 0 {
+                        row.push(item);
+                    }
+                }
+                row
+            })
+            .collect();
+        TransactionDb::from_rows(rows)
+    }
+
     #[test]
     fn matches_sequential_fpgrowth() {
         for seed in [1u64, 42, 1234] {
@@ -164,6 +179,36 @@ mod tests {
             sort_canonical(&mut seq);
             sort_canonical(&mut par);
             assert_eq!(seq, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn emission_order_is_exactly_sequential() {
+        // Stronger than set equality: the parallel miner must reproduce
+        // FpGrowth's output byte-for-byte, *including order*, so feature
+        // encoders downstream see identical streams.
+        for seed in [3u64, 99] {
+            let db = random_db(seed, 400, 25, 7);
+            let seq = FpGrowth::new(0.08).mine(&db);
+            for threads in [1, 2, 3, 8] {
+                let par = ParallelFpGrowth::new(0.08, threads).mine(&db);
+                assert_eq!(seq, par, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_result_on_skewed_database() {
+        // The load-balance fix (descending-cost claiming) must be purely
+        // a scheduling change: on a database with wildly uneven
+        // conditional-tree sizes, every thread count yields the exact
+        // sequential output.
+        let db = skewed_db(2520);
+        let seq = FpGrowth::new(0.02).mine(&db);
+        assert!(seq.len() > 100, "skewed db should be pattern-rich, got {}", seq.len());
+        for threads in [1, 2, 3, 5, 16] {
+            let par = ParallelFpGrowth::new(0.02, threads).mine(&db);
+            assert_eq!(seq, par, "threads {threads}");
         }
     }
 
@@ -183,6 +228,17 @@ mod tests {
         let mut par = ParallelFpGrowth::new(0.5, 32).mine(&db);
         sort_canonical(&mut par);
         assert_eq!(par.len(), 3); // {1}, {2}, {1,2}
+    }
+
+    #[test]
+    fn single_path_database_matches_sequential_order() {
+        // All transactions identical -> the global tree is one path; the
+        // parallel miner must still emit FpGrowth's exact order.
+        let db = TransactionDb::from_rows(vec![vec![1, 2, 3]; 4]);
+        let seq = FpGrowth::new(0.5).mine(&db);
+        let par = ParallelFpGrowth::new(0.5, 4).mine(&db);
+        assert_eq!(seq, par);
+        assert_eq!(par.len(), 7, "2^3 - 1 subsets");
     }
 
     #[test]

@@ -172,6 +172,20 @@ impl CorpusGenerator {
 
     /// Generate the corpus. Deterministic in the config.
     pub fn generate(&self) -> RecipeDb {
+        self.generate_with_threads(1)
+    }
+
+    /// Generate the corpus on up to `threads` worker threads.
+    ///
+    /// Every cuisine already draws from an independent RNG stream derived
+    /// from the master seed (reproducible and order-free), so each
+    /// cuisine's recipe batch is generated in parallel and the batches
+    /// are appended to the builder in fixed [`Cuisine::ALL`] order — the
+    /// resulting corpus is **bit-for-bit identical** to the sequential
+    /// build for any thread count. Cuisines are claimed largest-first so
+    /// the heavy batches (Italian is ~25× Korean) never strand a lone
+    /// straggler thread at the end of the run.
+    pub fn generate_with_threads(&self, threads: usize) -> RecipeDb {
         let cfg = &self.config;
         let mut builder = RecipeDbBuilder::new();
         let specs = spec::all_specs();
@@ -236,15 +250,26 @@ impl CorpusGenerator {
             .map(|(_, &id)| id)
             .collect();
 
-        for cc in &compiled {
-            let n = cfg.recipes_for(cc.cuisine);
-            // Independent stream per cuisine: reproducible and order-free.
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cc.cuisine.index() as u64 + 1)),
-            );
-            for i in 0..n {
-                let recipe =
-                    generate_recipe(cc, cfg, &tail_ids, &process_fill, &utensil_fill, &mut rng);
+        // Generate each cuisine's batch independently (workers claim
+        // cuisines largest-first), then append in fixed Cuisine::ALL
+        // order so recipe ids and the final corpus are identical to a
+        // sequential build.
+        let claim_order = par::descending_cost_order(
+            &compiled
+                .iter()
+                .map(|cc| cfg.recipes_for(cc.cuisine) as u64)
+                .collect::<Vec<_>>(),
+        );
+        let compiled_ref = &compiled;
+        let tail_ref = &tail_ids;
+        let process_ref = &process_fill;
+        let utensil_ref = &utensil_fill;
+        let batches: Vec<CuisineBatch> = par::map_claiming(threads, &claim_order, |c| {
+            cuisine_batch(&compiled_ref[c], cfg, tail_ref, process_ref, utensil_ref)
+        });
+
+        for (cc, batch) in compiled.iter().zip(batches) {
+            for (i, recipe) in batch.into_iter().enumerate() {
                 builder.add_recipe(
                     format!("{} recipe {i}", cc.cuisine.name()),
                     cc.cuisine,
@@ -372,6 +397,28 @@ fn compile_cuisine(
     }
 }
 
+/// One cuisine's generated recipes, in generation order.
+type CuisineBatch = Vec<(Vec<IngredientId>, Vec<ProcessId>, Vec<UtensilId>)>;
+
+/// Generate one cuisine's full recipe batch from its own derived RNG
+/// stream. Pure in its inputs — safe to run on any thread, in any order.
+fn cuisine_batch(
+    cc: &CompiledCuisine,
+    cfg: &GeneratorConfig,
+    tail_ids: &[IngredientId],
+    process_fill: &[ProcessId],
+    utensil_fill: &[UtensilId],
+) -> CuisineBatch {
+    let n = cfg.recipes_for(cc.cuisine);
+    // Independent stream per cuisine: reproducible and order-free.
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cc.cuisine.index() as u64 + 1)),
+    );
+    (0..n)
+        .map(|_| generate_recipe(cc, cfg, tail_ids, process_fill, utensil_fill, &mut rng))
+        .collect()
+}
+
 /// Sample an approximately normal count via Box–Muller, clamped.
 fn sample_count(rng: &mut StdRng, mean: f64, sd: f64, min: usize, max: usize) -> usize {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -481,6 +528,24 @@ mod tests {
         let ra = a.recipe(crate::model::RecipeId(100)).unwrap();
         let rb = b.recipe(crate::model::RecipeId(100)).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_sequential() {
+        let gen =
+            CorpusGenerator::new(GeneratorConfig::paper_scale(0.02).with_seed(2024));
+        let seq = gen.generate();
+        for threads in [2, 4, 13] {
+            let par = gen.generate_with_threads(threads);
+            assert_eq!(seq.recipe_count(), par.recipe_count(), "threads {threads}");
+            for (a, b) in seq.recipes().zip(par.recipes()) {
+                assert_eq!(a, b, "threads {threads}");
+            }
+            // The serialized corpora must match byte for byte.
+            let sj = crate::io::to_json(&seq).unwrap();
+            let pj = crate::io::to_json(&par).unwrap();
+            assert_eq!(sj, pj, "threads {threads}");
+        }
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! exactly one build.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use clustering::hac::LinkageMethod;
 use clustering::Metric;
 use cuisine_atlas::compare::{geo_agreement, historical_claims};
-use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use cuisine_atlas::pipeline::{AtlasConfig, BuildTimings, CuisineAtlas};
 use cuisine_atlas::views::{
     AgreementView, ElbowView, FingerprintView, Table1View, TreeView,
 };
@@ -42,17 +42,22 @@ pub struct AppState {
     flight: SingleFlight<CacheKey, CuisineAtlas>,
     builds: AtomicUsize,
     workers: usize,
+    build_threads: usize,
+    last_timings: RwLock<Option<BuildTimings>>,
 }
 
 impl AppState {
     /// State with an atlas cache of `cache_capacity` entries, reporting
-    /// `workers` in `/health`.
-    pub fn new(cache_capacity: usize, workers: usize) -> Self {
+    /// `workers` in `/health` and building cold atlases over
+    /// `build_threads` workers (`0` = all available parallelism).
+    pub fn new(cache_capacity: usize, workers: usize, build_threads: usize) -> Self {
         AppState {
             cache: AtlasCache::new(cache_capacity),
             flight: SingleFlight::new(),
             builds: AtomicUsize::new(0),
             workers,
+            build_threads,
+            last_timings: RwLock::new(None),
         }
     }
 
@@ -63,8 +68,16 @@ impl AppState {
         self.builds.load(Ordering::SeqCst)
     }
 
+    /// Per-stage timings of the most recent cold atlas build, if any.
+    pub fn last_build_timings(&self) -> Option<BuildTimings> {
+        *self.last_timings.read().unwrap()
+    }
+
     /// The atlas for `config` — cached, or built once even under
-    /// concurrent identical requests.
+    /// concurrent identical requests. The server's `build_threads`
+    /// setting overrides the config's: thread count never changes the
+    /// built atlas (see `cuisine_atlas::pipeline`), only its wall-clock
+    /// cost, so it is deliberately not part of the cache key.
     pub fn atlas(&self, config: &AtlasConfig) -> Arc<CuisineAtlas> {
         let key = CacheKey::from_config(config);
         if let Some(atlas) = self.cache.get(&key) {
@@ -72,7 +85,11 @@ impl AppState {
         }
         let atlas = self.flight.work(&key, || {
             self.builds.fetch_add(1, Ordering::SeqCst);
-            CuisineAtlas::build(config)
+            let built = CuisineAtlas::build(
+                &config.clone().with_build_threads(self.build_threads),
+            );
+            *self.last_timings.write().unwrap() = Some(built.timings());
+            built
         });
         self.cache.insert(key, Arc::clone(&atlas));
         atlas
@@ -169,13 +186,24 @@ pub fn router() -> Router<AppState> {
 
 fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
     let (hits, misses) = state.cache.stats();
+    let last_build_ms = state.last_build_timings().map(|t| {
+        json!({
+            "generate": (t.generate_ms),
+            "mine": (t.mine_ms),
+            "features": (t.features_ms),
+            "pdist": (t.pdist_ms),
+            "total": (t.total_ms()),
+        })
+    });
     ok_json(&json!({
         "status": "ok",
         "workers": (state.workers),
+        "build_threads": (par::resolve(state.build_threads)),
         "cached_atlases": (state.cache.len()),
         "builds": (state.build_count()),
         "cache_hits": hits,
         "cache_misses": misses,
+        "last_build_ms": last_build_ms,
     }))
 }
 
@@ -357,7 +385,7 @@ mod tests {
 
     #[test]
     fn cuisines_endpoint_needs_no_atlas() {
-        let state = AppState::new(2, 1);
+        let state = AppState::new(2, 1, 1);
         let resp = cuisines(&state, &req("/cuisines", &[]), &PathParams::default()).unwrap();
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();

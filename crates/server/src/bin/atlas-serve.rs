@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//!             [--cache-capacity N] [--prewarm SEED[,SEED...]]
+//!             [--cache-capacity N] [--build-threads N]
+//!             [--prewarm SEED[,SEED...]]
 //! ```
 //!
 //! `--prewarm` builds the quick atlas for each listed seed before
 //! accepting connections, so first requests are cache hits.
+//! `--build-threads` caps the worker threads used per cold atlas build
+//! (default: all available cores); the built atlases are bit-for-bit
+//! identical for every thread count.
 
 use atlas_server::{handle, ServerConfig, ServerHandle};
 use cuisine_atlas::pipeline::AtlasConfig;
@@ -19,7 +23,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--cache-capacity N] [--prewarm SEED[,SEED...]]"
+         [--cache-capacity N] [--build-threads N] [--prewarm SEED[,SEED...]]"
     );
     std::process::exit(2);
 }
@@ -52,6 +56,10 @@ fn parse_options() -> Options {
             "--cache-capacity" => {
                 options.config.cache_capacity =
                     parse_num(&value("--cache-capacity"), "--cache-capacity")
+            }
+            "--build-threads" => {
+                options.config.build_threads =
+                    parse_num(&value("--build-threads"), "--build-threads")
             }
             "--prewarm" => {
                 options.prewarm_seeds = value("--prewarm")

@@ -40,7 +40,11 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let state = Arc::new(AppState::new(config.cache_capacity, config.workers));
+        let state = Arc::new(AppState::new(
+            config.cache_capacity,
+            config.workers,
+            config.build_threads,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_state = Arc::clone(&state);

@@ -45,6 +45,10 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Atlases kept in the LRU cache.
     pub cache_capacity: usize,
+    /// Worker threads for cold atlas builds (`0` = all available
+    /// parallelism). Purely a wall-clock knob — every thread count
+    /// builds bit-for-bit identical atlases.
+    pub build_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_cap: 64,
             cache_capacity: 4,
+            build_threads: 0,
         }
     }
 }

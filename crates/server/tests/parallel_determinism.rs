@@ -1,0 +1,83 @@
+//! The parallel build's determinism contract, end to end: a server
+//! building atlases with one worker thread and a server building with
+//! many must serve **byte-identical** responses for every atlas-backed
+//! endpoint, and the generated corpus itself must serialize to the same
+//! JSON. Thread count is a wall-clock knob, never an input.
+//!
+//! Set `ATLAS_TEST_THREADS` to vary the parallel side (default 4); CI
+//! runs this under 2 and 8 threads.
+
+use atlas_server::{ServerConfig, ServerHandle};
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+
+/// A seed no other test shares, so both servers do their own cold build.
+const SEED: u64 = 307;
+
+fn parallel_threads() -> usize {
+    std::env::var("ATLAS_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4)
+}
+
+fn start(build_threads: usize) -> ServerHandle {
+    ServerHandle::start(ServerConfig { build_threads, ..ServerConfig::default() })
+        .expect("bind ephemeral port")
+}
+
+fn get_ok(server: &ServerHandle, path: &str) -> Vec<u8> {
+    let (status, body) = server.get(path).expect("request succeeds");
+    assert_eq!(
+        status,
+        200,
+        "GET {path} -> {status}: {}",
+        String::from_utf8_lossy(&body)
+    );
+    body
+}
+
+#[test]
+fn parallel_build_corpus_serializes_to_identical_json() {
+    let n = parallel_threads();
+    let mut cfg = AtlasConfig::quick(SEED);
+    cfg.corpus.scale = 0.03;
+    cfg.corpus.min_recipes_per_cuisine = 150;
+    let seq = CuisineAtlas::build(&cfg.clone().with_build_threads(1));
+    let par = CuisineAtlas::build(&cfg.with_build_threads(n));
+    assert_eq!(
+        recipedb::io::to_json(seq.db()).unwrap(),
+        recipedb::io::to_json(par.db()).unwrap(),
+        "corpus JSON must be byte-identical for 1 vs {n} build threads"
+    );
+}
+
+#[test]
+fn servers_with_different_build_threads_serve_identical_bytes() {
+    let n = parallel_threads();
+    let sequential = start(1);
+    let parallel = start(n);
+
+    let endpoints = [
+        format!("/table1?seed={SEED}"),
+        format!("/tree/pattern/euclidean?seed={SEED}"),
+        format!("/tree/pattern/cosine?seed={SEED}"),
+        format!("/tree/pattern/jaccard?seed={SEED}"),
+        format!("/tree/authenticity?seed={SEED}"),
+        format!("/elbow?seed={SEED}&k_max=6"),
+    ];
+    for path in &endpoints {
+        let a = get_ok(&sequential, path);
+        let b = get_ok(&parallel, path);
+        assert_eq!(
+            a,
+            b,
+            "GET {path}: build_threads=1 vs build_threads={n} must serve identical bytes"
+        );
+    }
+    assert_eq!(sequential.build_count(), 1, "one cold build per server");
+    assert_eq!(parallel.build_count(), 1, "one cold build per server");
+
+    sequential.shutdown();
+    parallel.shutdown();
+}
