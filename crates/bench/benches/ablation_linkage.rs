@@ -32,11 +32,9 @@ fn linkage_methods(c: &mut Criterion) {
             LinkageMethod::Average,
             LinkageMethod::Ward,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), n),
-                &d,
-                |b, d| b.iter(|| black_box(linkage(d, method))),
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), n), &d, |b, d| {
+                b.iter(|| black_box(linkage(d, method)))
+            });
         }
         group.bench_with_input(BenchmarkId::new("single_mst_fastpath", n), &d, |b, d| {
             b.iter(|| black_box(single_linkage_mst(d)))
@@ -60,11 +58,9 @@ fn distance_matrices(c: &mut Criterion) {
     for n in [50usize, 200] {
         let pts = random_points(n, 64, 7);
         for metric in [Metric::Euclidean, Metric::Cosine, Metric::Jaccard] {
-            group.bench_with_input(
-                BenchmarkId::new(metric.name(), n),
-                &pts,
-                |b, pts| b.iter(|| black_box(CondensedMatrix::pdist(pts, metric))),
-            );
+            group.bench_with_input(BenchmarkId::new(metric.name(), n), &pts, |b, pts| {
+                b.iter(|| black_box(CondensedMatrix::pdist(pts, metric)))
+            });
         }
     }
     group.finish();

@@ -84,5 +84,11 @@ fn topk_mining(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, support_sweep, scale_sweep, closed_mining, topk_mining);
+criterion_group!(
+    benches,
+    support_sweep,
+    scale_sweep,
+    closed_mining,
+    topk_mining
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn quick_config() -> AtlasConfig {
 fn scale20_config() -> AtlasConfig {
     let mut corpus = GeneratorConfig::paper_scale(0.2).with_seed(7);
     corpus.min_recipes_per_cuisine = 300;
-    AtlasConfig { corpus, ..AtlasConfig::paper() }
+    AtlasConfig {
+        corpus,
+        ..AtlasConfig::paper()
+    }
 }
 
 /// Thread counts worth measuring on this host: sequential, two workers,
@@ -74,8 +77,7 @@ fn stage_timings(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let atlas =
-                        CuisineAtlas::build(&config.clone().with_build_threads(threads));
+                    let atlas = CuisineAtlas::build(&config.clone().with_build_threads(threads));
                     let t = atlas.timings();
                     println!(
                         "    threads {threads}: generate {:.0} ms, mine {:.0} ms, \
@@ -94,5 +96,10 @@ fn stage_timings(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, atlas_build_quick, atlas_build_scale20, stage_timings);
+criterion_group!(
+    benches,
+    atlas_build_quick,
+    atlas_build_scale20,
+    stage_timings
+);
 criterion_main!(benches);

@@ -13,7 +13,10 @@ use recipedb::generator::GeneratorConfig;
 fn bench_atlas() -> CuisineAtlas {
     let mut corpus = GeneratorConfig::paper_scale(0.1).with_seed(7);
     corpus.min_recipes_per_cuisine = 200;
-    CuisineAtlas::build(&AtlasConfig { corpus, ..AtlasConfig::paper() })
+    CuisineAtlas::build(&AtlasConfig {
+        corpus,
+        ..AtlasConfig::paper()
+    })
 }
 
 fn figures(c: &mut Criterion) {
@@ -65,7 +68,10 @@ fn end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let mut corpus = GeneratorConfig::paper_scale(0.1).with_seed(7);
             corpus.min_recipes_per_cuisine = 200;
-            black_box(CuisineAtlas::build(&AtlasConfig { corpus, ..AtlasConfig::paper() }))
+            black_box(CuisineAtlas::build(&AtlasConfig {
+                corpus,
+                ..AtlasConfig::paper()
+            }))
         })
     });
     group.finish();

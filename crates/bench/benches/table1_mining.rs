@@ -56,9 +56,11 @@ fn miner_ablation(c: &mut Criterion) {
         &tdb,
         |b, tdb| b.iter(|| black_box(ParallelFpGrowth::new(0.2, 4).mine(tdb))),
     );
-    group.bench_with_input(BenchmarkId::new("charm_closed", tdb.len()), &tdb, |b, tdb| {
-        b.iter(|| black_box(Charm::new(0.2).mine(tdb)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("charm_closed", tdb.len()),
+        &tdb,
+        |b, tdb| b.iter(|| black_box(Charm::new(0.2).mine(tdb))),
+    );
     group.finish();
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--linkage METHOD] [--build-threads N]
-//!       [--json] [--bench-json [PATH]] [EXPERIMENT...]
+//!       [--json] [--bench-json [PATH]] [--assert-speedup] [EXPERIMENT...]
 //!
 //! EXPERIMENT: table1 figure1 figure2 figure3 figure4 figure5 figure6
 //!             validate extensions stats all        (default: all)
@@ -13,15 +13,21 @@
 //!             available cores (default). Results are identical for
 //!             every thread count — only wall-clock changes.
 //! --json      emit the machine-readable views (cuisine_atlas::views)
-//!             instead of the text reports
+//!             instead of the text reports, followed by a metrics
+//!             snapshot of the build's pipeline spans
 //! --bench-json [PATH]  skip the experiments; time cold atlas builds at
 //!             the configured scale for thread counts 1, 2 and all
 //!             cores, and write per-stage wall-clock entries to PATH
 //!             (default BENCH_atlas_build.json)
+//! --assert-speedup  with --bench-json: exit non-zero unless the build
+//!             at all cores beat the sequential build (skipped with a
+//!             warning on single-core hosts, where there is nothing to
+//!             compare)
 //! ```
 
 use std::process::ExitCode;
 
+use atlas_server::metrics::MetricsRegistry;
 use clustering::hac::LinkageMethod;
 use clustering::Metric;
 use cuisine_atlas::compare::{geo_agreement, historical_claims};
@@ -38,6 +44,7 @@ struct Options {
     build_threads: usize,
     json: bool,
     bench_json: Option<String>,
+    assert_speedup: bool,
     experiments: Vec<String>,
 }
 
@@ -49,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         build_threads: 0,
         json: false,
         bench_json: None,
+        assert_speedup: false,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -78,8 +86,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--build-threads" => {
                 let v = args.next().ok_or("--build-threads needs a value")?;
-                opts.build_threads =
-                    v.parse().map_err(|e| format!("bad --build-threads {v}: {e}"))?;
+                opts.build_threads = v
+                    .parse()
+                    .map_err(|e| format!("bad --build-threads {v}: {e}"))?;
             }
             "--json" => opts.json = true,
             "--bench-json" => {
@@ -96,10 +105,11 @@ fn parse_args() -> Result<Options, String> {
                 };
                 opts.bench_json = Some(path);
             }
+            "--assert-speedup" => opts.assert_speedup = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--scale S] [--seed N] [--linkage M] [--build-threads N] \
-                     [--json] [--bench-json [PATH]] [EXPERIMENT...]"
+                     [--json] [--bench-json [PATH]] [--assert-speedup] [EXPERIMENT...]"
                         .into(),
                 )
             }
@@ -143,11 +153,16 @@ fn main() -> ExitCode {
         opts.linkage,
         config.effective_build_threads(),
     );
-    let atlas = CuisineAtlas::build(&config);
 
     if opts.json {
-        return run_json(&atlas, &opts);
+        // Build through a metrics registry so the snapshot printed after
+        // the views carries the same pipeline spans `atlas-server`
+        // exports on /metrics.
+        let registry = MetricsRegistry::new(&[]);
+        let atlas = CuisineAtlas::build_with_sink(&config, &registry);
+        return run_json(&atlas, &opts, &registry);
     }
+    let atlas = CuisineAtlas::build(&config);
 
     for exp in &opts.experiments {
         let out = match exp.as_str() {
@@ -185,6 +200,7 @@ fn run_bench_json(config: &AtlasConfig, opts: &Options, path: &str) -> ExitCode 
     thread_counts.dedup();
 
     let mut entries = Vec::new();
+    let mut totals: Vec<(usize, f64)> = Vec::new();
     for &threads in &thread_counts {
         eprintln!(
             "bench: cold build at scale {} with {threads} thread(s) ...",
@@ -192,6 +208,7 @@ fn run_bench_json(config: &AtlasConfig, opts: &Options, path: &str) -> ExitCode 
         );
         let atlas = CuisineAtlas::build(&config.clone().with_build_threads(threads));
         let t = atlas.timings();
+        totals.push((threads, t.total_ms()));
         for (stage, wall_ms) in [
             ("generate", t.generate_ms),
             ("mine", t.mine_ms),
@@ -221,12 +238,69 @@ fn run_bench_json(config: &AtlasConfig, opts: &Options, path: &str) -> ExitCode 
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {path}");
+
+    if opts.assert_speedup {
+        if host_threads <= 1 {
+            eprintln!(
+                "bench: --assert-speedup skipped — single-core host, \
+                 nothing to compare"
+            );
+            return ExitCode::SUCCESS;
+        }
+        let sequential = totals.iter().find(|&&(t, _)| t == 1).map(|&(_, ms)| ms);
+        let parallel = totals
+            .iter()
+            .find(|&&(t, _)| t == host_threads)
+            .map(|&(_, ms)| ms);
+        match (sequential, parallel) {
+            (Some(seq), Some(par)) if par < seq => {
+                eprintln!(
+                    "bench: speedup {:.2}x at {host_threads} threads \
+                     ({seq:.0} ms -> {par:.0} ms)",
+                    seq / par
+                );
+            }
+            (Some(seq), Some(par)) => {
+                eprintln!(
+                    "bench: REGRESSION — {host_threads}-thread build \
+                     ({par:.0} ms) is not faster than sequential ({seq:.0} ms)"
+                );
+                return ExitCode::FAILURE;
+            }
+            _ => {
+                eprintln!("bench: --assert-speedup: missing measurements");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
+/// The build's pipeline spans as one JSON document: count, total wall
+/// time and p50/p99 per span, matching `atlas_build_span_seconds` on the
+/// server's /metrics (milliseconds here, for consistency with
+/// `BuildTimings`).
+fn metrics_snapshot(registry: &MetricsRegistry) -> serde_json::Value {
+    let mut spans = serde_json::Map::new();
+    for (name, snap) in registry.span_snapshots() {
+        spans.insert(
+            name,
+            json!({
+                "count": (snap.count()),
+                "total_ms": (snap.sum_seconds() * 1e3),
+                "p50_ms": (snap.quantile(0.5).map(|s| s * 1e3)),
+                "p99_ms": (snap.quantile(0.99).map(|s| s * 1e3)),
+            }),
+        );
+    }
+    let body = json!({ "spans": (serde_json::Value::Object(spans)) });
+    json!({ "metrics": body })
+}
+
 /// JSON mode: each experiment becomes one line of `cuisine_atlas::views`
-/// output — the exact payloads the `atlas-server` endpoints serve.
-fn run_json(atlas: &CuisineAtlas, opts: &Options) -> ExitCode {
+/// output — the exact payloads the `atlas-server` endpoints serve — and
+/// a final metrics snapshot records the build's pipeline spans.
+fn run_json(atlas: &CuisineAtlas, opts: &Options, registry: &MetricsRegistry) -> ExitCode {
     let geo = atlas.geographic_tree();
     for exp in &opts.experiments {
         let value = match exp.as_str() {
@@ -303,5 +377,9 @@ fn run_json(atlas: &CuisineAtlas, opts: &Options) -> ExitCode {
             }
         }
     }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&metrics_snapshot(registry)).unwrap()
+    );
     ExitCode::SUCCESS
 }

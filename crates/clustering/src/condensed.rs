@@ -43,11 +43,7 @@ impl CondensedMatrix {
     /// for any thread count — every entry is produced by the same single
     /// call `f(i, j)`, only on a different thread. Rows are claimed
     /// longest-first (row 0 is the widest).
-    pub fn par_from_fn(
-        n: usize,
-        threads: usize,
-        f: impl Fn(usize, usize) -> f64 + Sync,
-    ) -> Self {
+    pub fn par_from_fn(n: usize, threads: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
         if threads <= 1 || n < 3 {
             return Self::from_fn(n, f);
         }
@@ -79,7 +75,11 @@ impl CondensedMatrix {
     /// # Panics
     /// If `data.len() != n(n−1)/2`.
     pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), n * (n - 1) / 2, "condensed length mismatch for n={n}");
+        assert_eq!(
+            data.len(),
+            n * (n - 1) / 2,
+            "condensed length mismatch for n={n}"
+        );
         CondensedMatrix { n, data }
     }
 
@@ -126,7 +126,10 @@ impl CondensedMatrix {
 
     /// Apply `f` to every entry (e.g. squaring for Ward linkage).
     pub fn map(&self, f: impl Fn(f64) -> f64) -> CondensedMatrix {
-        CondensedMatrix { n: self.n, data: self.data.iter().map(|&d| f(d)).collect() }
+        CondensedMatrix {
+            n: self.n,
+            data: self.data.iter().map(|&d| f(d)).collect(),
+        }
     }
 
     /// Expand to a full square matrix.
@@ -138,9 +141,7 @@ impl CondensedMatrix {
 
     /// Iterate `(i, j, distance)` over all pairs `i < j`.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j)))
-        })
+        (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j))))
     }
 }
 

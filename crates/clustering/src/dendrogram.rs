@@ -47,14 +47,26 @@ impl Dendrogram {
     /// undefined clusters.
     pub fn from_merges(n_leaves: usize, merges: &[Merge]) -> Self {
         assert!(n_leaves >= 1);
-        assert_eq!(merges.len(), n_leaves.saturating_sub(1), "incomplete merge list");
+        assert_eq!(
+            merges.len(),
+            n_leaves.saturating_sub(1),
+            "incomplete merge list"
+        );
         let mut nodes: Vec<Node> = (0..n_leaves).map(|index| Node::Leaf { index }).collect();
         for (t, m) in merges.iter().enumerate() {
             let id = n_leaves + t;
-            assert!(m.a < id && m.b < id && m.a != m.b, "merge {t} references invalid clusters");
+            assert!(
+                m.a < id && m.b < id && m.a != m.b,
+                "merge {t} references invalid clusters"
+            );
             let count = Self::count_of(&nodes, m.a) + Self::count_of(&nodes, m.b);
             debug_assert_eq!(count, m.size, "merge {t} size mismatch");
-            nodes.push(Node::Internal { left: m.a, right: m.b, height: m.distance, count });
+            nodes.push(Node::Internal {
+                left: m.a,
+                right: m.b,
+                height: m.distance,
+                count,
+            });
         }
         Dendrogram { n_leaves, nodes }
     }
@@ -116,7 +128,12 @@ impl Dendrogram {
         for node in &self.nodes {
             let set = match *node {
                 Node::Leaf { index } => vec![index],
-                Node::Internal { left, right, height, .. } => {
+                Node::Internal {
+                    left,
+                    right,
+                    height,
+                    ..
+                } => {
                     for &a in &leafsets[left] {
                         for &b in &leafsets[right] {
                             m.set(a, b, height);
@@ -145,7 +162,13 @@ impl Dendrogram {
             x
         }
         for (id, node) in self.nodes.iter().enumerate() {
-            if let Node::Internal { left, right, height: h, .. } = *node {
+            if let Node::Internal {
+                left,
+                right,
+                height: h,
+                ..
+            } = *node
+            {
                 if h <= height {
                     let rl = find(&mut parent, left);
                     let rr = find(&mut parent, right);
@@ -154,7 +177,8 @@ impl Dendrogram {
                 }
             }
         }
-        let mut root_label: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut root_label: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
         (0..self.n_leaves)
             .map(|leaf| {
                 let r = find(&mut parent, leaf);
@@ -233,7 +257,12 @@ impl Dendrogram {
             Node::Leaf { index } => {
                 out.push_str(&format!("{prefix}{connector}── {}\n", labels[index]));
             }
-            Node::Internal { left, right, height, .. } => {
+            Node::Internal {
+                left,
+                right,
+                height,
+                ..
+            } => {
                 out.push_str(&format!("{prefix}{connector}┬ h={height:.3}\n"));
                 self.render_node(
                     left,
@@ -268,7 +297,12 @@ impl Dendrogram {
                         labels[index].replace('"', "'")
                     ));
                 }
-                Node::Internal { left, right, height, .. } => {
+                Node::Internal {
+                    left,
+                    right,
+                    height,
+                    ..
+                } => {
                     out.push_str(&format!(
                         "  n{id} [shape=circle, label=\"{height:.2}\"];\n  n{id} -> n{left};\n  n{id} -> n{right};\n"
                     ));
@@ -291,9 +325,18 @@ impl Dendrogram {
     fn newick_node(&self, id: usize, parent_height: f64, labels: &[String]) -> String {
         match self.nodes[id] {
             Node::Leaf { index } => {
-                format!("{}:{:.6}", labels[index].replace([' ', ','], "_"), parent_height)
+                format!(
+                    "{}:{:.6}",
+                    labels[index].replace([' ', ','], "_"),
+                    parent_height
+                )
             }
-            Node::Internal { left, right, height, .. } => {
+            Node::Internal {
+                left,
+                right,
+                height,
+                ..
+            } => {
                 let l = self.newick_node(left, height, labels);
                 let r = self.newick_node(right, height, labels);
                 format!("({l},{r}):{:.6}", (parent_height - height).max(0.0))
@@ -372,11 +415,7 @@ mod tests {
         let merges = linkage(&d, LinkageMethod::Average);
         let tree = Dendrogram::from_merges(5, &merges);
         for k in 1..=5 {
-            assert_eq!(
-                tree.cut_k(k),
-                crate::hac::cut_k(5, &merges, k),
-                "k={k}"
-            );
+            assert_eq!(tree.cut_k(k), crate::hac::cut_k(5, &merges, k), "k={k}");
         }
     }
 
@@ -413,7 +452,10 @@ mod tests {
     #[test]
     fn newick_is_balanced_and_terminated() {
         let t = line_tree();
-        let labels: Vec<String> = ["a", "b", "c d", "e"].iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = ["a", "b", "c d", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let nw = t.to_newick(&labels);
         assert!(nw.ends_with(';'));
         assert_eq!(

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn manhattan_and_hamming() {
         assert!((Metric::Manhattan.distance(&[1.0, -1.0], &[0.0, 1.0]) - 3.0).abs() < 1e-12);
-        assert_eq!(Metric::Hamming.distance(&[1.0, 2.0, 3.0], &[1.0, 0.0, 3.0]), 1.0);
+        assert_eq!(
+            Metric::Hamming.distance(&[1.0, 2.0, 3.0], &[1.0, 0.0, 3.0]),
+            1.0
+        );
     }
 
     #[test]

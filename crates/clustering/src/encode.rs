@@ -20,7 +20,10 @@ pub struct LabelEncoder<T: Eq + Hash + Clone> {
 impl<T: Eq + Hash + Clone> LabelEncoder<T> {
     /// An empty encoder.
     pub fn new() -> Self {
-        LabelEncoder { codes: HashMap::new(), values: Vec::new() }
+        LabelEncoder {
+            codes: HashMap::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Encode a value, assigning a fresh code on first sight.
@@ -36,7 +39,10 @@ impl<T: Eq + Hash + Clone> LabelEncoder<T> {
 
     /// Encode a batch.
     pub fn fit_transform(&mut self, values: impl IntoIterator<Item = T>) -> Vec<usize> {
-        values.into_iter().map(|v| self.fit_transform_one(&v)).collect()
+        values
+            .into_iter()
+            .map(|v| self.fit_transform_one(&v))
+            .collect()
     }
 
     /// Look up the code of an already-seen value.
@@ -82,10 +88,7 @@ pub fn incidence_matrix(rows: &[Vec<usize>], vocab_size: usize) -> Vec<Vec<f64>>
 
 /// Build a weighted incidence matrix from `(code, weight)` pairs (e.g.
 /// pattern supports). Later duplicates overwrite earlier ones.
-pub fn weighted_incidence_matrix(
-    rows: &[Vec<(usize, f64)>],
-    vocab_size: usize,
-) -> Vec<Vec<f64>> {
+pub fn weighted_incidence_matrix(rows: &[Vec<(usize, f64)>], vocab_size: usize) -> Vec<Vec<f64>> {
     rows.iter()
         .map(|pairs| {
             let mut v = vec![0.0; vocab_size];

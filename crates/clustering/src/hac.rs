@@ -151,9 +151,7 @@ fn linkage_generic(dist: &CondensedMatrix, method: LinkageMethod) -> Vec<Merge> 
     let mut size: Vec<f64> = vec![1.0; n];
 
     // nn[i] = (distance to nearest active j != i, j); lazily repaired.
-    let mut nn: Vec<(f64, usize)> = (0..n)
-        .map(|i| nearest(&d, &active, i))
-        .collect();
+    let mut nn: Vec<(f64, usize)> = (0..n).map(|i| nearest(&d, &active, i)).collect();
 
     let mut merges = Vec::with_capacity(n - 1);
     for step in 0..(n - 1) {
@@ -179,7 +177,11 @@ fn linkage_generic(dist: &CondensedMatrix, method: LinkageMethod) -> Vec<Merge> 
         let (i, j) = if i < j { (i, j) } else { (j, i) };
         let dij = d[i][j];
 
-        let height = if method.squares_internally() { dij.max(0.0).sqrt() } else { dij };
+        let height = if method.squares_internally() {
+            dij.max(0.0).sqrt()
+        } else {
+            dij
+        };
         let (la, lb) = (label[i].min(label[j]), label[i].max(label[j]));
         let new_size = size[i] + size[j];
         merges.push(Merge {
@@ -379,7 +381,12 @@ mod tests {
     #[test]
     fn every_method_produces_a_valid_merge_sequence() {
         let pts: Vec<Vec<f64>> = (0..9)
-            .map(|i| vec![(i % 3) as f64 * 4.0, (i / 3) as f64 * 4.0 + (i as f64) * 0.01])
+            .map(|i| {
+                vec![
+                    (i % 3) as f64 * 4.0,
+                    (i / 3) as f64 * 4.0 + (i as f64) * 0.01,
+                ]
+            })
             .collect();
         let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
         for method in LinkageMethod::ALL {

@@ -40,7 +40,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// A default configuration for `k` clusters.
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iter: 100, n_init: 4, seed: 42 }
+        KMeansConfig {
+            k,
+            max_iter: 100,
+            n_init: 4,
+            seed: 42,
+        }
     }
 
     /// Replace the seed.
@@ -173,7 +178,12 @@ fn lloyd(points: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut StdRng) -> KM
         .zip(&labels)
         .map(|(p, &l)| sq_dist(p, &centroids[l]))
         .sum();
-    KMeansResult { labels, centroids, wcss, iterations }
+    KMeansResult {
+        labels,
+        centroids,
+        wcss,
+        iterations,
+    }
 }
 
 /// WCSS for each `k` in `1..=k_max` — the elbow curve of Figure 1.
@@ -269,7 +279,12 @@ mod tests {
         let curve = elbow_sweep(&pts, 8, 7);
         for w in curve.windows(2) {
             // Allow tiny slack for local-minimum wiggle.
-            assert!(w[1] <= w[0] * 1.05 + 1e-9, "WCSS rose: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] * 1.05 + 1e-9,
+                "WCSS rose: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -294,7 +309,10 @@ mod tests {
             .collect();
         let curve = elbow_sweep(&pts, 8, 5);
         let (_, strength) = elbow_strength(&curve).expect("curve long enough");
-        assert!(strength < 0.2, "structureless data must have weak elbow, got {strength}");
+        assert!(
+            strength < 0.2,
+            "structureless data must have weak elbow, got {strength}"
+        );
     }
 
     #[test]

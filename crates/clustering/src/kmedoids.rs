@@ -54,9 +54,7 @@ pub fn kmedoids(dist: &CondensedMatrix, k: usize, max_iter: usize) -> KMedoidsRe
             .filter(|i| !medoids.contains(i))
             .max_by(|&a, &b| {
                 let gain = |c: usize| -> f64 {
-                    (0..n)
-                        .map(|j| (nearest[j] - dist.get(c, j)).max(0.0))
-                        .sum()
+                    (0..n).map(|j| (nearest[j] - dist.get(c, j)).max(0.0)).sum()
                 };
                 gain(a)
                     .partial_cmp(&gain(b))
@@ -94,9 +92,7 @@ pub fn kmedoids(dist: &CondensedMatrix, k: usize, max_iter: usize) -> KMedoidsRe
                 medoids[mi] = candidate;
                 let new_cost = assignment_cost(&medoids);
                 medoids[mi] = old;
-                if new_cost < cost - 1e-12
-                    && best.is_none_or(|(_, _, bc)| new_cost < bc)
-                {
+                if new_cost < cost - 1e-12 && best.is_none_or(|(_, _, bc)| new_cost < bc) {
                     best = Some((mi, candidate, new_cost));
                 }
             }
@@ -125,7 +121,12 @@ pub fn kmedoids(dist: &CondensedMatrix, k: usize, max_iter: usize) -> KMedoidsRe
                 .expect("k >= 1")
         })
         .collect();
-    KMedoidsResult { medoids, labels, cost, iterations }
+    KMedoidsResult {
+        medoids,
+        labels,
+        cost,
+        iterations,
+    }
 }
 
 /// Total-cost curve for `k = 1..=k_max` — the PAM analogue of the elbow

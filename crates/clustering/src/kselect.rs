@@ -49,12 +49,7 @@ pub struct GapPoint {
 
 /// Compute the gap statistic for `k = 1..=k_max` with `n_refs` uniform
 /// reference datasets drawn from the data's bounding box.
-pub fn gap_statistic(
-    points: &[Vec<f64>],
-    k_max: usize,
-    n_refs: usize,
-    seed: u64,
-) -> Vec<GapPoint> {
+pub fn gap_statistic(points: &[Vec<f64>], k_max: usize, n_refs: usize, seed: u64) -> Vec<GapPoint> {
     assert!(!points.is_empty(), "no points");
     assert!(n_refs >= 1, "need at least one reference dataset");
     let n = points.len();
@@ -98,10 +93,18 @@ pub fn gap_statistic(
             ref_terms.push(log_wcss(&reference, k, seed.wrapping_add(r as u64)));
         }
         let mean = ref_terms.iter().sum::<f64>() / n_refs as f64;
-        let var = ref_terms.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n_refs as f64;
+        let var = ref_terms
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / n_refs as f64;
         // Tibshirani's s_k includes the simulation-error inflation factor.
         let std_err = var.sqrt() * (1.0 + 1.0 / n_refs as f64).sqrt();
-        out.push(GapPoint { k, gap: mean - data_term, std_err });
+        out.push(GapPoint {
+            k,
+            gap: mean - data_term,
+            std_err,
+        });
     }
     out
 }
@@ -122,7 +125,11 @@ pub fn gap_select(curve: &[GapPoint]) -> Option<usize> {
     }
     curve
         .iter()
-        .max_by(|a, b| a.gap.partial_cmp(&b.gap).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.gap
+                .partial_cmp(&b.gap)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .filter(|p| p.gap >= 0.0)
         .map(|p| p.k)
 }
@@ -199,9 +206,21 @@ mod tests {
     #[test]
     fn gap_select_falls_back_to_argmax_when_curve_always_improves() {
         let curve = vec![
-            GapPoint { k: 1, gap: 0.0, std_err: 0.01 },
-            GapPoint { k: 2, gap: 1.0, std_err: 0.01 },
-            GapPoint { k: 3, gap: 2.0, std_err: 0.01 },
+            GapPoint {
+                k: 1,
+                gap: 0.0,
+                std_err: 0.01,
+            },
+            GapPoint {
+                k: 2,
+                gap: 1.0,
+                std_err: 0.01,
+            },
+            GapPoint {
+                k: 3,
+                gap: 2.0,
+                std_err: 0.01,
+            },
         ];
         assert_eq!(gap_select(&curve), Some(3));
     }
@@ -209,8 +228,16 @@ mod tests {
     #[test]
     fn gap_select_none_when_all_gaps_negative() {
         let curve = vec![
-            GapPoint { k: 1, gap: -0.5, std_err: 0.01 },
-            GapPoint { k: 2, gap: -1.0, std_err: 0.01 },
+            GapPoint {
+                k: 1,
+                gap: -0.5,
+                std_err: 0.01,
+            },
+            GapPoint {
+                k: 2,
+                gap: -1.0,
+                std_err: 0.01,
+            },
         ];
         assert_eq!(gap_select(&curve), None);
     }
@@ -218,10 +245,26 @@ mod tests {
     #[test]
     fn gap_select_skips_negative_prefix() {
         let curve = vec![
-            GapPoint { k: 1, gap: -0.8, std_err: 0.1 },
-            GapPoint { k: 2, gap: -0.9, std_err: 0.2 },
-            GapPoint { k: 3, gap: 7.5, std_err: 0.2 },
-            GapPoint { k: 4, gap: 7.4, std_err: 0.2 },
+            GapPoint {
+                k: 1,
+                gap: -0.8,
+                std_err: 0.1,
+            },
+            GapPoint {
+                k: 2,
+                gap: -0.9,
+                std_err: 0.2,
+            },
+            GapPoint {
+                k: 3,
+                gap: 7.5,
+                std_err: 0.2,
+            },
+            GapPoint {
+                k: 4,
+                gap: 7.4,
+                std_err: 0.2,
+            },
         ];
         assert_eq!(gap_select(&curve), Some(3));
     }

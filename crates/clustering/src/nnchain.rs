@@ -54,7 +54,11 @@ pub fn nn_chain_linkage(dist: &CondensedMatrix, method: LinkageMethod) -> Vec<Me
             let top = *chain.last().expect("chain non-empty");
             // Nearest active neighbour; prefer the previous chain element
             // on ties so reciprocal pairs terminate.
-            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
             for (k, row) in d[top].iter().enumerate() {
@@ -87,7 +91,9 @@ pub fn nn_chain_linkage(dist: &CondensedMatrix, method: LinkageMethod) -> Vec<Me
                         continue;
                     }
                     let (ai, aj, beta, gamma) = method.lance_williams(ni, nj, size[k]);
-                    let nd = ai * d[k][i] + aj * d[k][j] + beta * dij
+                    let nd = ai * d[k][i]
+                        + aj * d[k][j]
+                        + beta * dij
                         + gamma * (d[k][i] - d[k][j]).abs();
                     d[k][i] = nd;
                     d[i][k] = nd;
@@ -140,7 +146,12 @@ pub(crate) fn merges_from_weighted_pairs(
         let new_label = n + step;
         let new_size = sizes[la] + sizes[lb];
         sizes[new_label] = new_size;
-        merges.push(Merge { a: la, b: lb, distance: w, size: new_size });
+        merges.push(Merge {
+            a: la,
+            b: lb,
+            distance: w,
+            size: new_size,
+        });
         parent[rv] = ru;
         cluster_of[ru] = new_label;
     }
@@ -182,10 +193,11 @@ mod tests {
             let pts = scatter(24, seed);
             let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
             for method in reducible() {
-                let mut a: Vec<f64> =
-                    linkage(&d, method).iter().map(|m| m.distance).collect();
-                let mut b: Vec<f64> =
-                    nn_chain_linkage(&d, method).iter().map(|m| m.distance).collect();
+                let mut a: Vec<f64> = linkage(&d, method).iter().map(|m| m.distance).collect();
+                let mut b: Vec<f64> = nn_chain_linkage(&d, method)
+                    .iter()
+                    .map(|m| m.distance)
+                    .collect();
                 a.sort_by(|x, y| x.partial_cmp(y).unwrap());
                 b.sort_by(|x, y| x.partial_cmp(y).unwrap());
                 for (x, y) in a.iter().zip(&b) {

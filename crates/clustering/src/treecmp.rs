@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn rf_detects_topology_differences() {
         // Single and complete linkage disagree on chained data.
-        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * (1.0 + i as f64 * 0.1)]).collect();
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64 * (1.0 + i as f64 * 0.1)])
+            .collect();
         let a = tree_of(&pts, LinkageMethod::Single);
         let b = tree_of(&pts, LinkageMethod::Complete);
         let rf = robinson_foulds_normalized(&a, &b);

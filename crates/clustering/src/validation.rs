@@ -209,8 +209,12 @@ mod tests {
     #[test]
     fn cophenetic_correlation_high_for_well_separated_data() {
         let pts = vec![
-            vec![0.0], vec![0.2], vec![0.4],
-            vec![10.0], vec![10.2], vec![10.4],
+            vec![0.0],
+            vec![0.2],
+            vec![0.4],
+            vec![10.0],
+            vec![10.2],
+            vec![10.4],
         ];
         let d = CondensedMatrix::pdist(&pts, Metric::Euclidean);
         let tree = Dendrogram::from_merges(6, &linkage(&d, LinkageMethod::Average));

@@ -10,10 +10,7 @@ use clustering::kmeans::{kmeans, KMeansConfig};
 use clustering::validation::{adjusted_rand_index, bakers_gamma, pearson, spearman};
 
 fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-50.0f64..50.0, 3),
-        2..14,
-    )
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 2..14)
 }
 
 fn monotone_methods() -> Vec<LinkageMethod> {

@@ -95,7 +95,11 @@ impl AuthenticityMatrix {
             }
         }
 
-        AuthenticityMatrix { items, prevalence, relative }
+        AuthenticityMatrix {
+            items,
+            prevalence,
+            relative,
+        }
     }
 
     /// Number of item columns.
@@ -112,8 +116,12 @@ impl AuthenticityMatrix {
     /// cuisine, as `(token, relative_prevalence)` descending.
     pub fn most_authentic(&self, cuisine: Cuisine, k: usize) -> Vec<(TokenId, f64)> {
         let row = &self.relative[cuisine.index()];
-        let mut pairs: Vec<(TokenId, f64)> =
-            self.items.iter().copied().zip(row.iter().copied()).collect();
+        let mut pairs: Vec<(TokenId, f64)> = self
+            .items
+            .iter()
+            .copied()
+            .zip(row.iter().copied())
+            .collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         pairs.truncate(k);
         pairs
@@ -122,8 +130,12 @@ impl AuthenticityMatrix {
     /// The `k` least-authentic (most conspicuously absent) items.
     pub fn least_authentic(&self, cuisine: Cuisine, k: usize) -> Vec<(TokenId, f64)> {
         let row = &self.relative[cuisine.index()];
-        let mut pairs: Vec<(TokenId, f64)> =
-            self.items.iter().copied().zip(row.iter().copied()).collect();
+        let mut pairs: Vec<(TokenId, f64)> = self
+            .items
+            .iter()
+            .copied()
+            .zip(row.iter().copied())
+            .collect();
         pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         pairs.truncate(k);
         pairs

@@ -73,7 +73,10 @@ mod tests {
         let atlas = crate::testutil::shared_atlas();
         let geo = atlas.geographic_tree();
         let self_score = geo_agreement(&geo, &geo);
-        assert!(self_score.cophenetic_vs_geo > 0.5, "geo tree must track geo distances");
+        assert!(
+            self_score.cophenetic_vs_geo > 0.5,
+            "geo tree must track geo distances"
+        );
         assert!((self_score.bakers_gamma - 1.0).abs() < 1e-9);
 
         let euclid = atlas.pattern_tree(Metric::Euclidean);
@@ -102,15 +105,12 @@ mod tests {
             assert!(
                 claims.canada_closer_to_france_than_us,
                 "{metric}: Canada–France {} vs Canada–US {}",
-                claims.evidence[0],
-                claims.evidence[1]
+                claims.evidence[0], claims.evidence[1]
             );
             assert!(
                 claims.india_closer_to_north_africa_than_neighbors,
                 "{metric}: India–NAfrica {} vs India–Thai {} / India–SEA {}",
-                claims.evidence[2],
-                claims.evidence[3],
-                claims.evidence[4]
+                claims.evidence[2], claims.evidence[3], claims.evidence[4]
             );
         }
     }
@@ -120,7 +120,15 @@ mod tests {
         let atlas = crate::testutil::shared_atlas();
         let tree = atlas.authenticity_tree();
         let claims = historical_claims(&tree);
-        assert!(claims.canada_closer_to_france_than_us, "{:?}", claims.evidence);
-        assert!(claims.india_closer_to_north_africa_than_neighbors, "{:?}", claims.evidence);
+        assert!(
+            claims.canada_closer_to_france_than_us,
+            "{:?}",
+            claims.evidence
+        );
+        assert!(
+            claims.india_closer_to_north_africa_than_neighbors,
+            "{:?}",
+            claims.evidence
+        );
     }
 }

@@ -50,18 +50,22 @@ pub fn figure1_extended(atlas: &CuisineAtlas) -> String {
 
     let points = &atlas.features().binary;
     let mut out = String::new();
-    out.push_str("Figure 1 extended: silhouette / gap statistic / PAM on pattern vectors
+    out.push_str(
+        "Figure 1 extended: silhouette / gap statistic / PAM on pattern vectors
 
-");
+",
+    );
 
     out.push_str("silhouette by k:   ");
     for (k, s) in silhouette_sweep(points, 10, 1) {
         out.push_str(&format!("k={k}:{s:+.2}  "));
     }
     if let Some((k, s)) = best_silhouette(points, 10, 1) {
-        out.push_str(&format!("
+        out.push_str(&format!(
+            "
   best: k={k} at {s:+.3} (clean blob data scores > +0.8)
-"));
+"
+        ));
     }
 
     let curve = gap_statistic(points, 10, 6, 1);
@@ -70,12 +74,16 @@ pub fn figure1_extended(atlas: &CuisineAtlas) -> String {
         out.push_str(&format!("k={}:{:+.2}  ", p.k, p.gap));
     }
     match gap_select(&curve) {
-        Some(k) => out.push_str(&format!("
+        Some(k) => out.push_str(&format!(
+            "
   gap rule selects k={k}
-")),
-        None => out.push_str("
+"
+        )),
+        None => out.push_str(
+            "
   gap rule selects nothing (no structure)
-"),
+",
+        ),
     }
 
     let dist = CondensedMatrix::pdist(points, clustering::Metric::Euclidean);
@@ -182,18 +190,29 @@ pub fn run_all(atlas: &CuisineAtlas) -> String {
     let sections = [
         ("T1  Table I", table1(atlas)),
         ("F1  Figure 1 — elbow method", figure1_elbow(atlas)),
-        ("F1b Figure 1 extended — silhouette / gap / PAM", figure1_extended(atlas)),
+        (
+            "F1b Figure 1 extended — silhouette / gap / PAM",
+            figure1_extended(atlas),
+        ),
         ("F2  Figure 2 — HAC euclidean", figure2_euclidean(atlas)),
         ("F3  Figure 3 — HAC cosine", figure3_cosine(atlas)),
         ("F4  Figure 4 — HAC jaccard", figure4_jaccard(atlas)),
-        ("F5  Figure 5 — HAC authenticity", figure5_authenticity(atlas)),
+        (
+            "F5  Figure 5 — HAC authenticity",
+            figure5_authenticity(atlas),
+        ),
         ("F6  Figure 6 — HAC geography", figure6_geography(atlas)),
         ("Q1  Validation", validate(atlas)),
         ("E1-E4  Future-work extensions", ext_all(atlas)),
     ];
     let mut out = String::new();
     for (title, body) in sections {
-        out.push_str(&format!("\n{}\n{}\n{}\n", "=".repeat(96), title, "=".repeat(96)));
+        out.push_str(&format!(
+            "\n{}\n{}\n{}\n",
+            "=".repeat(96),
+            title,
+            "=".repeat(96)
+        ));
         out.push_str(&body);
     }
     out
@@ -202,7 +221,7 @@ pub fn run_all(atlas: &CuisineAtlas) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     #[test]
     fn every_experiment_renders_nonempty() {
         let atlas = crate::testutil::shared_atlas();
@@ -224,7 +243,9 @@ mod tests {
     fn run_all_contains_every_section() {
         let atlas = crate::testutil::shared_atlas();
         let all = run_all(atlas);
-        for tag in ["T1", "F1", "F2", "F3", "F4", "F5", "F6", "Q1", "Ext1", "Ext2", "Ext3", "Ext4"] {
+        for tag in [
+            "T1", "F1", "F2", "F3", "F4", "F5", "F6", "Q1", "Ext1", "Ext2", "Ext3", "Ext4",
+        ] {
             assert!(all.contains(tag), "missing section {tag}");
         }
     }

@@ -52,7 +52,11 @@ pub fn mine_cuisine_kinds(
     } else {
         FpGrowth::new(min_support).mine(&tdb)
     };
-    CuisinePatterns { cuisine, n_recipes, itemsets }
+    CuisinePatterns {
+        cuisine,
+        n_recipes,
+        itemsets,
+    }
 }
 
 /// Build the Jaccard pattern tree from kind-restricted mining.
@@ -70,7 +74,11 @@ pub fn pattern_tree_for_kinds(
     let distances = CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
         jaccard_sets(&features.pattern_sets[i], &features.pattern_sets[j])
     });
-    let label = kinds.iter().map(|k| k.label()).collect::<Vec<_>>().join("+");
+    let label = kinds
+        .iter()
+        .map(|k| k.label())
+        .collect::<Vec<_>>()
+        .join("+");
     CuisineTree::from_distances(
         format!("patterns[{label}]/jaccard/{linkage_method}"),
         distances,
@@ -87,7 +95,10 @@ pub fn kinds_ablation(atlas: &CuisineAtlas) -> String {
     let variants: Vec<(&str, Vec<ItemKind>)> = vec![
         ("ingredients only", vec![Ingredient]),
         ("ingredients + processes", vec![Ingredient, Process]),
-        ("ingredients + processes + utensils", vec![Ingredient, Process, Utensil]),
+        (
+            "ingredients + processes + utensils",
+            vec![Ingredient, Process, Utensil],
+        ),
     ];
     let trees: Vec<(&str, CuisineTree)> = variants
         .iter()
@@ -201,7 +212,11 @@ pub fn bootstrap_claims(atlas: &CuisineAtlas, n_resamples: usize, seed: u64) -> 
                     .collect();
                 let n_recipes = resampled.len();
                 let tdb = TransactionDb::from_rows(resampled);
-                CuisinePatterns { cuisine: c, n_recipes, itemsets: FpGrowth::new(ms).mine(&tdb) }
+                CuisinePatterns {
+                    cuisine: c,
+                    n_recipes,
+                    itemsets: FpGrowth::new(ms).mine(&tdb),
+                }
             })
             .collect();
         let features = PatternFeatures::build(db, &all);
@@ -249,7 +264,10 @@ pub fn linkage_sensitivity(atlas: &CuisineAtlas) -> String {
     let trees: Vec<CuisineTree> = methods
         .iter()
         .map(|&m| {
-            let cfg = AtlasConfig { linkage: m, ..atlas.config().clone() };
+            let cfg = AtlasConfig {
+                linkage: m,
+                ..atlas.config().clone()
+            };
             let distances = atlas.pattern_tree(Metric::Jaccard).distances;
             CuisineTree::from_distances(format!("patterns/jaccard/{m}"), distances, cfg.linkage)
         })
@@ -318,7 +336,10 @@ mod tests {
         let atlas = crate::testutil::shared_atlas();
         let report = alias_ablation(atlas);
         assert!(report.contains("green onion -> scallion"));
-        assert!(report.contains("after: CA~FR true / IN~NA true"), "{report}");
+        assert!(
+            report.contains("after: CA~FR true / IN~NA true"),
+            "{report}"
+        );
     }
 
     #[test]

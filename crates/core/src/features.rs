@@ -121,7 +121,10 @@ mod tests {
         let before = v.len();
         v.dedup();
         assert_eq!(before, v.len(), "duplicate pattern strings in vocabulary");
-        assert!(f.vocab_size() > 26, "cross-cuisine vocabulary should be rich");
+        assert!(
+            f.vocab_size() > 26,
+            "cross-cuisine vocabulary should be rich"
+        );
     }
 
     #[test]

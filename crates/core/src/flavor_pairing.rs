@@ -71,7 +71,12 @@ pub fn pairing_hypothesis(
         null_total += mean_ns(table, fake);
     }
     let null_ns = null_total / n_null.max(1) as f64;
-    PairingHypothesis { cuisine, real_ns, null_ns, delta: real_ns - null_ns }
+    PairingHypothesis {
+        cuisine,
+        real_ns,
+        null_ns,
+        delta: real_ns - null_ns,
+    }
 }
 
 fn mean_ns(table: &FlavorTable, recipes: impl Iterator<Item = Vec<IngredientId>>) -> f64 {
@@ -90,17 +95,17 @@ fn mean_ns(table: &FlavorTable, recipes: impl Iterator<Item = Vec<IngredientId>>
 
 /// The full world map: pairing effect per cuisine, sorted by `delta`
 /// descending.
-pub fn pairing_world_map(
-    db: &RecipeDb,
-    n_null: usize,
-    seed: u64,
-) -> Vec<PairingHypothesis> {
+pub fn pairing_world_map(db: &RecipeDb, n_null: usize, seed: u64) -> Vec<PairingHypothesis> {
     let table = FlavorTable::synthesize(db);
     let mut out: Vec<PairingHypothesis> = Cuisine::ALL
         .iter()
         .map(|&c| pairing_hypothesis(db, &table, c, n_null, seed))
         .collect();
-    out.sort_by(|a, b| b.delta.partial_cmp(&a.delta).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.delta
+            .partial_cmp(&a.delta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -150,7 +155,12 @@ mod tests {
         let table = FlavorTable::synthesize(atlas.db());
         let a = pairing_hypothesis(atlas.db(), &table, Cuisine::Japanese, 4, 1);
         let b = pairing_hypothesis(atlas.db(), &table, Cuisine::Japanese, 4, 99);
-        assert!((a.null_ns - b.null_ns).abs() < 0.1, "{} vs {}", a.null_ns, b.null_ns);
+        assert!(
+            (a.null_ns - b.null_ns).abs() < 0.1,
+            "{} vs {}",
+            a.null_ns,
+            b.null_ns
+        );
         assert_eq!(a.real_ns, b.real_ns, "real N_s is deterministic");
     }
 

@@ -50,7 +50,9 @@ mod tests {
             "geography must put Canada with US"
         );
         // Japan joins Korea before joining Scandinavia.
-        assert!(c(Cuisine::Japanese, Cuisine::Korean) < c(Cuisine::Japanese, Cuisine::Scandinavian));
+        assert!(
+            c(Cuisine::Japanese, Cuisine::Korean) < c(Cuisine::Japanese, Cuisine::Scandinavian)
+        );
         // UK and Irish are among the closest pairs in the tree.
         assert!(c(Cuisine::UK, Cuisine::Irish) <= c(Cuisine::UK, Cuisine::Greek));
     }

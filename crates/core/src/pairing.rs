@@ -46,12 +46,7 @@ impl PairingAnalysis {
     /// Score every ingredient pair of `cuisine` whose members each appear
     /// in at least `min_item_count` recipes and which co-occur in at least
     /// `min_joint` recipes.
-    pub fn analyze(
-        db: &RecipeDb,
-        cuisine: Cuisine,
-        min_item_count: u32,
-        min_joint: u32,
-    ) -> Self {
+    pub fn analyze(db: &RecipeDb, cuisine: Cuisine, min_item_count: u32, min_joint: u32) -> Self {
         let co = CooccurrenceCounts::for_cuisine(db, cuisine, min_item_count);
         let n = co.n_recipes.max(1) as f64;
         let mut pairs: Vec<Pairing> = co
@@ -67,11 +62,24 @@ impl PairingAnalysis {
                 let pa = co.marginal(a) as f64 / n;
                 let pb = co.marginal(b) as f64 / n;
                 let pab = joint as f64 / n;
-                Pairing { a, b, joint, pmi: (pab / (pa * pb)).log2() }
+                Pairing {
+                    a,
+                    b,
+                    joint,
+                    pmi: (pab / (pa * pb)).log2(),
+                }
             })
             .collect();
-        pairs.sort_by(|x, y| y.pmi.partial_cmp(&x.pmi).unwrap_or(std::cmp::Ordering::Equal));
-        PairingAnalysis { cuisine, n_recipes: co.n_recipes, pairs }
+        pairs.sort_by(|x, y| {
+            y.pmi
+                .partial_cmp(&x.pmi)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        PairingAnalysis {
+            cuisine,
+            n_recipes: co.n_recipes,
+            pairs,
+        }
     }
 
     /// The `k` strongest positive pairings.
@@ -95,13 +103,14 @@ impl PairingAnalysis {
 
     /// Look up the PMI of a named ingredient pair, if scored.
     pub fn pmi_of(&self, db: &RecipeDb, a: &str, b: &str) -> Option<f64> {
-        let ta = db.catalog().token_of(recipedb::Item::Ingredient(db.catalog().ingredient(a)?));
-        let tb = db.catalog().token_of(recipedb::Item::Ingredient(db.catalog().ingredient(b)?));
+        let ta = db
+            .catalog()
+            .token_of(recipedb::Item::Ingredient(db.catalog().ingredient(a)?));
+        let tb = db
+            .catalog()
+            .token_of(recipedb::Item::Ingredient(db.catalog().ingredient(b)?));
         let key = if ta <= tb { (ta, tb) } else { (tb, ta) };
-        self.pairs
-            .iter()
-            .find(|p| (p.a, p.b) == key)
-            .map(|p| p.pmi)
+        self.pairs.iter().find(|p| (p.a, p.b) == key).map(|p| p.pmi)
     }
 
     /// Render the strongest pairings as a small report.
@@ -136,7 +145,10 @@ pub fn pairing_affinity_by_cuisine(
     let mut out: Vec<(Cuisine, f64)> = Cuisine::ALL
         .iter()
         .map(|&c| {
-            (c, PairingAnalysis::analyze(db, c, min_item_count, min_joint).mean_pmi())
+            (
+                c,
+                PairingAnalysis::analyze(db, c, min_item_count, min_joint).mean_pmi(),
+            )
         })
         .collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -75,7 +75,11 @@ impl CuisinePatterns {
         } else {
             FpGrowth::new(min_support).mine(&tdb)
         };
-        CuisinePatterns { cuisine, n_recipes, itemsets }
+        CuisinePatterns {
+            cuisine,
+            n_recipes,
+            itemsets,
+        }
     }
 
     /// Number of frequent patterns (the Table I "Number of patterns"
@@ -111,22 +115,24 @@ pub fn mine_all(db: &RecipeDb, min_support: f64) -> Vec<CuisinePatterns> {
     mine_all_threads(db, min_support, 1)
 }
 
-/// Mine every cuisine in Table I order, fanned out over `threads`
-/// workers. Cuisines are claimed largest-first (recipe counts span
-/// Korean's 668 to Italian's 16k at full scale), and cuisines above
-/// [`LARGE_CUISINE_RECIPES`] recipes additionally run the multi-threaded
-/// FP-Growth so the biggest mining job cannot dominate the critical path.
-/// Output is identical to [`mine_all`] for any thread count.
-pub fn mine_all_threads(
+/// [`mine_all_threads`] with per-cuisine wall-clock spans
+/// (`mine/Italian`, ...) reported to `sink` as each cuisine finishes.
+/// Timing is observation only — output is identical to [`mine_all`].
+pub fn mine_all_threads_observed(
     db: &RecipeDb,
     min_support: f64,
     threads: usize,
+    sink: &dyn crate::pipeline::SpanSink,
 ) -> Vec<CuisinePatterns> {
+    let mine_one = |cuisine: Cuisine, inner: usize| {
+        let (mined, _) =
+            crate::pipeline::spanned(sink, &format!("mine/{}", cuisine.name()), || {
+                CuisinePatterns::mine_with_threads(db, cuisine, min_support, inner)
+            });
+        mined
+    };
     if threads <= 1 {
-        return Cuisine::ALL
-            .iter()
-            .map(|&c| CuisinePatterns::mine(db, c, min_support))
-            .collect();
+        return Cuisine::ALL.iter().map(|&c| mine_one(c, 1)).collect();
     }
     let costs: Vec<u64> = Cuisine::ALL
         .iter()
@@ -140,17 +146,24 @@ pub fn mine_all_threads(
         } else {
             1
         };
-        CuisinePatterns::mine_with_threads(db, cuisine, min_support, inner)
+        mine_one(cuisine, inner)
     })
+}
+
+/// Mine every cuisine in Table I order, fanned out over `threads`
+/// workers. Cuisines are claimed largest-first (recipe counts span
+/// Korean's 668 to Italian's 16k at full scale), and cuisines above
+/// [`LARGE_CUISINE_RECIPES`] recipes additionally run the multi-threaded
+/// FP-Growth so the biggest mining job cannot dominate the critical path.
+/// Output is identical to [`mine_all`] for any thread count.
+pub fn mine_all_threads(db: &RecipeDb, min_support: f64, threads: usize) -> Vec<CuisinePatterns> {
+    mine_all_threads_observed(db, min_support, threads, &crate::pipeline::NullSink)
 }
 
 /// Items that clear the support threshold in at least
 /// `generic_fraction × n_cuisines` cuisines — the "generic" stop-set
 /// (`salt`, `onion`-level ubiquity). Computed from the mined singletons.
-pub fn generic_items(
-    all: &[CuisinePatterns],
-    generic_fraction: f64,
-) -> HashSet<u32> {
+pub fn generic_items(all: &[CuisinePatterns], generic_fraction: f64) -> HashSet<u32> {
     let mut cuisine_hits: HashMap<u32, usize> = HashMap::new();
     for cp in all {
         for f in cp.itemsets.iter().filter(|f| f.items.len() == 1) {
@@ -296,7 +309,11 @@ mod tests {
         let top = significant_patterns(&db, jp, &generic, 3);
         assert!(!top.is_empty());
         assert_eq!(top[0].pattern, "soy sauce", "got {:?}", top);
-        assert!((top[0].support - 0.45).abs() < 0.08, "support {}", top[0].support);
+        assert!(
+            (top[0].support - 0.45).abs() < 0.08,
+            "support {}",
+            top[0].support
+        );
     }
 
     #[test]

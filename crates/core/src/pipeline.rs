@@ -70,7 +70,10 @@ impl AtlasConfig {
     pub fn quick(seed: u64) -> Self {
         let mut corpus = GeneratorConfig::paper_scale(0.05).with_seed(seed);
         corpus.min_recipes_per_cuisine = 1000;
-        AtlasConfig { corpus, ..Self::paper() }
+        AtlasConfig {
+            corpus,
+            ..Self::paper()
+        }
     }
 
     /// Replace the linkage method.
@@ -91,9 +94,42 @@ impl AtlasConfig {
     }
 }
 
+/// A sink for named wall-clock spans emitted while the pipeline runs.
+///
+/// [`CuisineAtlas::build_with_sink`] reports every stage
+/// (`stage/generate`, `stage/mine`, `stage/features`, `stage/pdist`)
+/// and each cuisine's mining time (`mine/Italian`, ...) through this
+/// trait, so callers — the server's metrics registry, `repro --json` —
+/// aggregate build telemetry however they like instead of being limited
+/// to the fixed [`BuildTimings`] summary. Sinks must be thread-safe:
+/// parallel stages report from worker threads.
+pub trait SpanSink: Send + Sync {
+    /// Record that span `name` took `wall_ms` milliseconds.
+    fn record_span(&self, name: &str, wall_ms: f64);
+}
+
+/// A [`SpanSink`] that discards every span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn record_span(&self, _name: &str, _wall_ms: f64) {}
+}
+
+/// Time `f`, report it to `sink` under `name`, and return the result
+/// with the measured milliseconds.
+pub(crate) fn spanned<T>(sink: &dyn SpanSink, name: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let value = f();
+    let wall_ms = ms_since(t);
+    sink.record_span(name, wall_ms);
+    (value, wall_ms)
+}
+
 /// Wall-clock cost of each [`CuisineAtlas::build`] stage, in
 /// milliseconds. Surfaced by the server's `/health` endpoint and the
-/// `repro --bench-json` trajectory file.
+/// `repro --bench-json` trajectory file. Assembled from the same
+/// measurements that flow to the build's [`SpanSink`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct BuildTimings {
     /// Corpus generation.
@@ -165,7 +201,11 @@ impl CuisineTree {
     fn grow(description: String, distances: CondensedMatrix, method: LinkageMethod) -> Self {
         let merges = linkage(&distances, method);
         let dendrogram = Dendrogram::from_merges(distances.len(), &merges);
-        CuisineTree { description, distances, dendrogram }
+        CuisineTree {
+            description,
+            distances,
+            dendrogram,
+        }
     }
 
     /// Cophenetic (tree) distance between two cuisines.
@@ -220,28 +260,39 @@ impl CuisineAtlas {
     /// Generate the corpus described by `config` and build the atlas,
     /// using [`AtlasConfig::build_threads`] workers for every stage.
     pub fn build(config: &AtlasConfig) -> Self {
+        Self::build_with_sink(config, &NullSink)
+    }
+
+    /// [`CuisineAtlas::build`], reporting every stage and per-cuisine
+    /// mining span to `sink` as it completes.
+    pub fn build_with_sink(config: &AtlasConfig, sink: &dyn SpanSink) -> Self {
         let threads = config.effective_build_threads();
-        let t = Instant::now();
-        let db = CorpusGenerator::new(config.corpus.clone()).generate_with_threads(threads);
-        let generate_ms = ms_since(t);
-        Self::assemble(db, config, generate_ms)
+        let (db, generate_ms) = spanned(sink, "stage/generate", || {
+            CorpusGenerator::new(config.corpus.clone()).generate_with_threads(threads)
+        });
+        Self::assemble_with_sink(db, config, generate_ms, sink)
     }
 
     /// Build the atlas over an existing corpus (e.g. loaded from JSON).
     pub fn from_db(db: RecipeDb, config: &AtlasConfig) -> Self {
-        Self::assemble(db, config, 0.0)
+        Self::assemble_with_sink(db, config, 0.0, &NullSink)
     }
 
     /// Mine, encode, and warm the distance caches, recording per-stage
-    /// wall-clock timings.
-    fn assemble(db: RecipeDb, config: &AtlasConfig, generate_ms: f64) -> Self {
+    /// wall-clock timings both in [`BuildTimings`] and through `sink`.
+    fn assemble_with_sink(
+        db: RecipeDb,
+        config: &AtlasConfig,
+        generate_ms: f64,
+        sink: &dyn SpanSink,
+    ) -> Self {
         let threads = config.effective_build_threads();
-        let t = Instant::now();
-        let patterns = patterns::mine_all_threads(&db, config.min_support, threads);
-        let mine_ms = ms_since(t);
-        let t = Instant::now();
-        let features = PatternFeatures::build(&db, &patterns);
-        let features_ms = ms_since(t);
+        let (patterns, mine_ms) = spanned(sink, "stage/mine", || {
+            patterns::mine_all_threads_observed(&db, config.min_support, threads, sink)
+        });
+        let (features, features_ms) = spanned(sink, "stage/features", || {
+            PatternFeatures::build(&db, &patterns)
+        });
         let mut atlas = CuisineAtlas {
             config: config.clone(),
             db,
@@ -250,10 +301,13 @@ impl CuisineAtlas {
             caches: DistanceCaches::default(),
             timings: BuildTimings::default(),
         };
-        let t = Instant::now();
-        atlas.warm_distance_caches();
-        let pdist_ms = ms_since(t);
-        atlas.timings = BuildTimings { generate_ms, mine_ms, features_ms, pdist_ms };
+        let (_, pdist_ms) = spanned(sink, "stage/pdist", || atlas.warm_distance_caches());
+        atlas.timings = BuildTimings {
+            generate_ms,
+            mine_ms,
+            features_ms,
+            pdist_ms,
+        };
         atlas
     }
 
@@ -310,7 +364,10 @@ impl CuisineAtlas {
                 pattern_count: cp.pattern_count(),
             })
             .collect();
-        Table1 { rows, min_support: self.config.min_support }
+        Table1 {
+            rows,
+            min_support: self.config.min_support,
+        }
     }
 
     /// **Figures 2–4** — the pattern-based cuisine tree under a metric.
@@ -320,7 +377,11 @@ impl CuisineAtlas {
     /// first use and cached for the atlas's lifetime.
     pub fn pattern_tree(&self, metric: Metric) -> CuisineTree {
         let description = format!("patterns/{metric}/{}", self.config.linkage);
-        CuisineTree::grow(description, self.pattern_distances(metric), self.config.linkage)
+        CuisineTree::grow(
+            description,
+            self.pattern_distances(metric),
+            self.config.linkage,
+        )
     }
 
     /// The (cached) pairwise cuisine distances under `metric`.
@@ -328,7 +389,10 @@ impl CuisineAtlas {
         let threads = self.config.effective_build_threads();
         let compute = || match metric {
             Metric::Jaccard => CondensedMatrix::par_from_fn(Cuisine::COUNT, threads, |i, j| {
-                jaccard_sets(&self.features.pattern_sets[i], &self.features.pattern_sets[j])
+                jaccard_sets(
+                    &self.features.pattern_sets[i],
+                    &self.features.pattern_sets[j],
+                )
             }),
             _ => CondensedMatrix::par_pdist(&self.features.binary, metric, threads),
         };
@@ -408,7 +472,11 @@ mod tests {
         assert_eq!(t.rows.len(), 26);
         assert_eq!(t.min_support, 0.2);
         for row in &t.rows {
-            assert!(!row.top_patterns.is_empty(), "{}: no significant patterns", row.cuisine);
+            assert!(
+                !row.top_patterns.is_empty(),
+                "{}: no significant patterns",
+                row.cuisine
+            );
             assert!(row.pattern_count >= row.top_patterns.len());
             assert!(
                 row.top_patterns[0].support >= 0.2 - 0.03,
@@ -467,7 +535,10 @@ mod tests {
         let json = recipedb::io::to_json(a.db()).unwrap();
         let db2 = recipedb::io::from_json(&json).unwrap();
         let b = CuisineAtlas::from_db(db2, &cfg);
-        assert_eq!(a.patterns()[0].pattern_count(), b.patterns()[0].pattern_count());
+        assert_eq!(
+            a.patterns()[0].pattern_count(),
+            b.patterns()[0].pattern_count()
+        );
         assert_eq!(a.features().vocab_size(), b.features().vocab_size());
     }
 }

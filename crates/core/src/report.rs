@@ -48,7 +48,12 @@ pub fn render_elbow(wcss: &[f64]) -> String {
     let max = wcss.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
     for (i, &w) in wcss.iter().enumerate() {
         let bar_len = ((w / max) * 50.0).round() as usize;
-        out.push_str(&format!("k={:<3} {:>12.2} |{}\n", i + 1, w, "█".repeat(bar_len)));
+        out.push_str(&format!(
+            "k={:<3} {:>12.2} |{}\n",
+            i + 1,
+            w,
+            "█".repeat(bar_len)
+        ));
     }
     out
 }
@@ -75,10 +80,14 @@ pub fn render_tree(tree: &CuisineTree) -> String {
 /// Render Table I as a Markdown table (for READMEs / notebooks).
 pub fn render_table1_markdown(table: &Table1) -> String {
     let mut out = String::new();
-    out.push_str("| Region | Recipes | Top patterns (support) | #Patterns |
-");
-    out.push_str("|---|---:|---|---:|
-");
+    out.push_str(
+        "| Region | Recipes | Top patterns (support) | #Patterns |
+",
+    );
+    out.push_str(
+        "|---|---:|---|---:|
+",
+    );
     for row in &table.rows {
         let patterns: Vec<String> = row
             .top_patterns
@@ -99,8 +108,10 @@ pub fn render_table1_markdown(table: &Table1) -> String {
 
 /// Export Table I as CSV (one line per (cuisine, pattern) pair).
 pub fn table1_to_csv(table: &Table1) -> String {
-    let mut out = String::from("region,recipes,rank,pattern,support,pattern_count
-");
+    let mut out = String::from(
+        "region,recipes,rank,pattern,support,pattern_count
+",
+    );
     for row in &table.rows {
         for (rank, p) in row.top_patterns.iter().enumerate() {
             // Quote the two free-text fields defensively.

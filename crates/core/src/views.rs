@@ -59,7 +59,12 @@ impl TreeView {
         let n = d.n_leaves();
         let merges = (n..n + n.saturating_sub(1))
             .map(|id| match *d.node(id) {
-                Node::Internal { left, right, height, count } => MergeView {
+                Node::Internal {
+                    left,
+                    right,
+                    height,
+                    count,
+                } => MergeView {
                     a: left,
                     b: right,
                     height,
@@ -71,7 +76,11 @@ impl TreeView {
         TreeView {
             description: tree.description.clone(),
             n_leaves: n,
-            leaves: tree.leaf_cuisines().iter().map(|c| c.name().to_string()).collect(),
+            leaves: tree
+                .leaf_cuisines()
+                .iter()
+                .map(|c| c.name().to_string())
+                .collect(),
             newick: d.to_newick(&cuisine_names()),
             merges,
             max_height: d.max_height(),
@@ -173,7 +182,10 @@ impl FingerprintView {
         k: usize,
     ) -> Self {
         let name_of = |t: recipedb::catalog::TokenId| {
-            db.catalog().token_name(t).unwrap_or("<unknown>").to_string()
+            db.catalog()
+                .token_name(t)
+                .unwrap_or("<unknown>")
+                .to_string()
         };
         FingerprintView {
             cuisine: cuisine.name().to_string(),
@@ -181,12 +193,18 @@ impl FingerprintView {
             most_authentic: matrix
                 .most_authentic(cuisine, k)
                 .into_iter()
-                .map(|(t, score)| AuthenticityEntry { item: name_of(t), score })
+                .map(|(t, score)| AuthenticityEntry {
+                    item: name_of(t),
+                    score,
+                })
                 .collect(),
             least_authentic: matrix
                 .least_authentic(cuisine, k)
                 .into_iter()
-                .map(|(t, score)| AuthenticityEntry { item: name_of(t), score })
+                .map(|(t, score)| AuthenticityEntry {
+                    item: name_of(t),
+                    score,
+                })
                 .collect(),
         }
     }
@@ -301,12 +319,17 @@ mod tests {
         let a = atlas();
         let geo = a.geographic_tree();
         let tree = a.authenticity_tree();
-        let view = AgreementView::from_parts(&geo_agreement(&tree, &geo), &historical_claims(&tree));
+        let view =
+            AgreementView::from_parts(&geo_agreement(&tree, &geo), &historical_claims(&tree));
         let json = serde_json::to_string(&view).unwrap();
         let back: AgreementView = serde_json::from_str(&json).unwrap();
         assert_eq!(back, view);
 
-        let elbow = ElbowView { k_max: 8, seed: 5, wcss: a.elbow_curve(8, 5) };
+        let elbow = ElbowView {
+            k_max: 8,
+            seed: 5,
+            wcss: a.elbow_curve(8, 5),
+        };
         assert_eq!(elbow.wcss.len(), 8);
         let json = serde_json::to_string(&elbow).unwrap();
         let back: ElbowView = serde_json::from_str(&json).unwrap();

@@ -63,7 +63,8 @@ impl ClosedSets {
         self.by_count
             .into_iter()
             .flat_map(|(count, sets)| {
-                sets.into_iter().map(move |items| FrequentItemset { items, count })
+                sets.into_iter()
+                    .map(move |items| FrequentItemset { items, count })
             })
             .collect()
     }
@@ -138,7 +139,10 @@ fn charm_extend(nodes: &mut [Node], min_cnt: u64, closed: &mut ClosedSets) {
                 let t = intersect(&ti, tj);
                 if t.len() as u64 >= min_cnt {
                     // Properties 3/4: open a child.
-                    children.push(Node { items: xi.union(&nodes[j].items), tids: t });
+                    children.push(Node {
+                        items: xi.union(&nodes[j].items),
+                        tids: t,
+                    });
                 }
             }
         }
@@ -168,7 +172,10 @@ impl Charm {
             .tid_lists()
             .into_iter()
             .filter(|(_, tids)| tids.len() as u64 >= min_cnt)
-            .map(|(item, tids)| Node { items: Itemset::singleton(item as ItemId), tids })
+            .map(|(item, tids)| Node {
+                items: Itemset::singleton(item as ItemId),
+                tids,
+            })
             .collect();
         if roots.is_empty() {
             return Vec::new();
@@ -217,7 +224,10 @@ mod tests {
             vec![1, 2, 3, 5],
             vec![1, 2, 3],
         ]);
-        assert_eq!(charm_closed(&db, 2.0 / 9.0), reference_closed(&db, 2.0 / 9.0));
+        assert_eq!(
+            charm_closed(&db, 2.0 / 9.0),
+            reference_closed(&db, 2.0 / 9.0)
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub fn closed(itemsets: &[FrequentItemset]) -> Vec<FrequentItemset> {
 }
 
 /// Keep itemsets containing at least one item from `allowed`.
-pub fn containing_any(itemsets: &[FrequentItemset], allowed: &dyn Fn(ItemId) -> bool) -> Vec<FrequentItemset> {
+pub fn containing_any(
+    itemsets: &[FrequentItemset],
+    allowed: &dyn Fn(ItemId) -> bool,
+) -> Vec<FrequentItemset> {
     itemsets
         .iter()
         .filter(|f| f.items.items().iter().any(|&i| allowed(i)))
@@ -75,7 +78,10 @@ mod tests {
     use crate::itemset::Itemset;
 
     fn fi(items: Vec<ItemId>, count: u64) -> FrequentItemset {
-        FrequentItemset { items: Itemset::new(items), count }
+        FrequentItemset {
+            items: Itemset::new(items),
+            count,
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl FpGrowth {
             min_support > 0.0 && min_support <= 1.0,
             "min_support must be in (0, 1], got {min_support}"
         );
-        FpGrowth { min_support, max_len: None }
+        FpGrowth {
+            min_support,
+            max_len: None,
+        }
     }
 
     /// Limit the length of emitted itemsets (useful for feature
@@ -58,10 +61,8 @@ impl Miner for FpGrowth {
         // Global item frequencies; keep frequent ones, ranked by
         // descending count (ties by ascending id) for the tree order.
         let counts = db.item_counts();
-        let mut frequent: Vec<(ItemId, u64)> = counts
-            .into_iter()
-            .filter(|&(_, c)| c >= min_cnt)
-            .collect();
+        let mut frequent: Vec<(ItemId, u64)> =
+            counts.into_iter().filter(|&(_, c)| c >= min_cnt).collect();
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let rank: HashMap<ItemId, u32> = frequent
             .iter()
@@ -86,12 +87,21 @@ impl Miner for FpGrowth {
         let items_by_rank: Vec<ItemId> = frequent.iter().map(|&(it, _)| it).collect();
         let mut out = Vec::new();
         let mut suffix: Vec<u32> = Vec::new();
-        mine_tree(&tree, min_cnt, self.max_len, &mut suffix, &mut |ranks, count| {
-            let mut items: Vec<ItemId> =
-                ranks.iter().map(|&r| items_by_rank[r as usize]).collect();
-            items.sort_unstable();
-            out.push(FrequentItemset { items: Itemset::from_sorted(items), count });
-        });
+        mine_tree(
+            &tree,
+            min_cnt,
+            self.max_len,
+            &mut suffix,
+            &mut |ranks, count| {
+                let mut items: Vec<ItemId> =
+                    ranks.iter().map(|&r| items_by_rank[r as usize]).collect();
+                items.sort_unstable();
+                out.push(FrequentItemset {
+                    items: Itemset::from_sorted(items),
+                    count,
+                });
+            },
+        );
         out
     }
 
@@ -410,7 +420,12 @@ mod tests {
     fn downward_closure_holds() {
         // Every subset of a frequent itemset is frequent with >= count.
         let rows: Vec<Vec<ItemId>> = (0..40)
-            .map(|i| (0..6).filter(|&j| (i + j) % (j + 2) == 0).map(|j| j as ItemId).collect())
+            .map(|i| {
+                (0..6)
+                    .filter(|&j| (i + j) % (j + 2) == 0)
+                    .map(|j| j as ItemId)
+                    .collect()
+            })
             .collect();
         let db = TransactionDb::from_rows(rows);
         let out = FpGrowth::new(0.1).mine(&db);

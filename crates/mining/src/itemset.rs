@@ -22,7 +22,10 @@ impl Itemset {
     /// # Panics
     /// In debug builds, if `items` is not strictly increasing.
     pub fn from_sorted(items: Vec<ItemId>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly increasing"
+        );
         Itemset(items)
     }
 
@@ -239,9 +242,18 @@ mod tests {
     #[test]
     fn canonical_sort_orders_by_length_then_lex() {
         let mut sets = vec![
-            FrequentItemset { items: Itemset::new(vec![2]), count: 1 },
-            FrequentItemset { items: Itemset::new(vec![1, 2]), count: 1 },
-            FrequentItemset { items: Itemset::new(vec![1]), count: 1 },
+            FrequentItemset {
+                items: Itemset::new(vec![2]),
+                count: 1,
+            },
+            FrequentItemset {
+                items: Itemset::new(vec![1, 2]),
+                count: 1,
+            },
+            FrequentItemset {
+                items: Itemset::new(vec![1]),
+                count: 1,
+            },
         ];
         sort_canonical(&mut sets);
         assert_eq!(sets[0].items.items(), &[1]);
@@ -251,7 +263,10 @@ mod tests {
 
     #[test]
     fn support_fraction() {
-        let f = FrequentItemset { items: Itemset::singleton(1), count: 3 };
+        let f = FrequentItemset {
+            items: Itemset::singleton(1),
+            count: 3,
+        };
         assert!((f.support(12) - 0.25).abs() < 1e-12);
         assert_eq!(f.support(0), 0.0);
     }

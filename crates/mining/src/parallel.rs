@@ -44,7 +44,10 @@ impl ParallelFpGrowth {
             min_support > 0.0 && min_support <= 1.0,
             "min_support must be in (0, 1], got {min_support}"
         );
-        ParallelFpGrowth { min_support, n_threads: n_threads.max(1) }
+        ParallelFpGrowth {
+            min_support,
+            n_threads: n_threads.max(1),
+        }
     }
 
     /// A miner sized to the machine's available parallelism.
@@ -108,7 +111,10 @@ impl Miner for ParallelFpGrowth {
                     let mut items: Vec<ItemId> =
                         ranks.iter().map(|&rr| items_ref[rr as usize]).collect();
                     items.sort_unstable();
-                    local.push(FrequentItemset { items: Itemset::from_sorted(items), count });
+                    local.push(FrequentItemset {
+                        items: Itemset::from_sorted(items),
+                        count,
+                    });
                 };
                 emit(&suffix, total);
                 if let Some(cond) = conditional_tree(tree_ref, r, min_cnt) {
@@ -146,7 +152,9 @@ mod tests {
         let rows = (0..n)
             .map(|_| {
                 let len = (next() as usize % (2 * avg_len)).max(1);
-                (0..len).map(|_| (next() % universe as u64) as u32).collect()
+                (0..len)
+                    .map(|_| (next() % universe as u64) as u32)
+                    .collect()
             })
             .collect();
         TransactionDb::from_rows(rows)
@@ -205,7 +213,11 @@ mod tests {
         // sequential output.
         let db = skewed_db(2520);
         let seq = FpGrowth::new(0.02).mine(&db);
-        assert!(seq.len() > 100, "skewed db should be pattern-rich, got {}", seq.len());
+        assert!(
+            seq.len() > 100,
+            "skewed db should be pattern-rich, got {}",
+            seq.len()
+        );
         for threads in [1, 2, 3, 5, 16] {
             let par = ParallelFpGrowth::new(0.02, threads).mine(&db);
             assert_eq!(seq, par, "threads {threads}");
@@ -243,7 +255,9 @@ mod tests {
 
     #[test]
     fn empty_db_yields_nothing() {
-        assert!(ParallelFpGrowth::new(0.5, 4).mine(&TransactionDb::default()).is_empty());
+        assert!(ParallelFpGrowth::new(0.5, 4)
+            .mine(&TransactionDb::default())
+            .is_empty());
     }
 
     #[test]

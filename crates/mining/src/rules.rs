@@ -48,7 +48,10 @@ pub struct RuleConfig {
 
 impl Default for RuleConfig {
     fn default() -> Self {
-        RuleConfig { min_confidence: 0.5, min_lift: 0.0 }
+        RuleConfig {
+            min_confidence: 0.5,
+            min_lift: 0.0,
+        }
     }
 }
 
@@ -65,8 +68,10 @@ pub fn induce_rules(
     if n_transactions == 0 {
         return Vec::new();
     }
-    let support_of: HashMap<&[ItemId], u64> =
-        itemsets.iter().map(|f| (f.items.items(), f.count)).collect();
+    let support_of: HashMap<&[ItemId], u64> = itemsets
+        .iter()
+        .map(|f| (f.items.items(), f.count))
+        .collect();
     let n = n_transactions as f64;
     let mut rules = Vec::new();
 
@@ -86,9 +91,10 @@ pub fn induce_rules(
                     cons.push(item);
                 }
             }
-            let (Some(&ante_cnt), Some(&cons_cnt)) =
-                (support_of.get(ante.as_slice()), support_of.get(cons.as_slice()))
-            else {
+            let (Some(&ante_cnt), Some(&cons_cnt)) = (
+                support_of.get(ante.as_slice()),
+                support_of.get(cons.as_slice()),
+            ) else {
                 continue; // incomplete input collection
             };
             let ante_supp = ante_cnt as f64 / n;
@@ -122,7 +128,11 @@ pub fn induce_rules(
         b.confidence
             .partial_cmp(&a.confidence)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| b.lift.partial_cmp(&a.lift).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| {
+                b.lift
+                    .partial_cmp(&a.lift)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     });
     rules
 }
@@ -137,7 +147,10 @@ mod tests {
     fn rules_for(rows: Vec<Vec<ItemId>>, min_conf: f64) -> (Vec<AssociationRule>, usize) {
         let db = TransactionDb::from_rows(rows);
         let itemsets = FpGrowth::new(0.25).mine(&db);
-        let cfg = RuleConfig { min_confidence: min_conf, min_lift: 0.0 };
+        let cfg = RuleConfig {
+            min_confidence: min_conf,
+            min_lift: 0.0,
+        };
         (induce_rules(&itemsets, db.len(), &cfg), db.len())
     }
 
@@ -186,10 +199,7 @@ mod tests {
 
     #[test]
     fn rules_come_out_sorted_by_confidence() {
-        let (rules, _) = rules_for(
-            vec![vec![1, 2], vec![1, 2], vec![2, 3], vec![3]],
-            0.1,
-        );
+        let (rules, _) = rules_for(vec![vec![1, 2], vec![1, 2], vec![2, 3], vec![3]], 0.1);
         for w in rules.windows(2) {
             assert!(w[0].confidence >= w[1].confidence - 1e-12);
         }

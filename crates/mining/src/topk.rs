@@ -82,10 +82,15 @@ impl TopK {
 
         let mut out: Vec<FrequentItemset> = heap
             .into_iter()
-            .map(|Reverse(Entry { count, tie: Reverse((_, items)) })| FrequentItemset {
-                items: Itemset::from_sorted(items),
-                count,
-            })
+            .map(
+                |Reverse(Entry {
+                     count,
+                     tie: Reverse((_, items)),
+                 })| FrequentItemset {
+                    items: Itemset::from_sorted(items),
+                    count,
+                },
+            )
             .collect();
         out.sort_by(|a, b| {
             b.count
@@ -111,7 +116,10 @@ fn offer(heap: &mut Heap, k: usize, mut items: Vec<ItemId>, count: u64) {
     // Canonical form: the DFS explores in dense-first (not id) order, so
     // prefixes arrive unsorted; the tie-break and output need sorted items.
     items.sort_unstable();
-    let entry = Entry { count, tie: Reverse((items.len(), items)) };
+    let entry = Entry {
+        count,
+        tie: Reverse((items.len(), items)),
+    };
     if heap.len() < k {
         heap.push(Reverse(entry));
     } else if let Some(Reverse(weakest)) = heap.peek() {

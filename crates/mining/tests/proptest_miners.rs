@@ -24,12 +24,22 @@ fn arb_db() -> impl Strategy<Value = TransactionDb> {
 }
 
 fn arb_support() -> impl Strategy<Value = f64> {
-    prop_oneof![Just(0.1), Just(0.2), Just(0.35), Just(0.5), Just(0.8), Just(1.0)]
+    prop_oneof![
+        Just(0.1),
+        Just(0.2),
+        Just(0.35),
+        Just(0.5),
+        Just(0.8),
+        Just(1.0)
+    ]
 }
 
 /// Brute-force support of an itemset.
 fn brute_count(db: &TransactionDb, items: &Itemset) -> u64 {
-    db.rows().iter().filter(|row| items.is_contained_in(row)).count() as u64
+    db.rows()
+        .iter()
+        .filter(|row| items.is_contained_in(row))
+        .count() as u64
 }
 
 /// Brute-force complete mining by subset enumeration over the universe.
@@ -43,7 +53,10 @@ fn brute_mine(db: &TransactionDb, min_support: f64) -> Vec<FrequentItemset> {
     };
     let k = universe.len();
     for mask in 1u32..(1u32 << k) {
-        let items: Vec<u32> = (0..k).filter(|i| mask & (1 << i) != 0).map(|i| universe[i]).collect();
+        let items: Vec<u32> = (0..k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| universe[i])
+            .collect();
         let set = Itemset::from_sorted(items);
         let count = brute_count(db, &set);
         if count >= min_cnt {

@@ -26,7 +26,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The machine's available parallelism (1 when it cannot be determined).
 pub fn available() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Resolve a user-facing thread knob: `0` means "use all available

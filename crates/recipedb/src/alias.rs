@@ -116,7 +116,11 @@ pub fn apply(db: &RecipeDb, aliases: &AliasTable) -> RecipeDb {
         .collect();
     // Processes/utensils copied verbatim (ids preserved because the
     // original interning order is replayed).
-    let proc_names: Vec<String> = db.catalog().processes().map(|(_, n)| n.to_owned()).collect();
+    let proc_names: Vec<String> = db
+        .catalog()
+        .processes()
+        .map(|(_, n)| n.to_owned())
+        .collect();
     for n in &proc_names {
         builder.catalog_mut().intern_process(n);
     }
@@ -126,11 +130,8 @@ pub fn apply(db: &RecipeDb, aliases: &AliasTable) -> RecipeDb {
     }
 
     for recipe in db.recipes() {
-        let ingredients: Vec<IngredientId> = recipe
-            .ingredients
-            .iter()
-            .map(|id| remap[id])
-            .collect();
+        let ingredients: Vec<IngredientId> =
+            recipe.ingredients.iter().map(|id| remap[id]).collect();
         builder.add_recipe(
             recipe.name.clone(),
             recipe.cuisine,
@@ -147,7 +148,10 @@ pub fn apply(db: &RecipeDb, aliases: &AliasTable) -> RecipeDb {
 pub fn alias_impact(db: &RecipeDb, aliases: &AliasTable) -> Vec<(String, String, usize)> {
     let mut out = Vec::new();
     for (alias, canonical) in aliases.iter() {
-        if let (Some(a), Some(_)) = (db.catalog().ingredient(alias), db.catalog().ingredient(canonical)) {
+        if let (Some(a), Some(_)) = (
+            db.catalog().ingredient(alias),
+            db.catalog().ingredient(canonical),
+        ) {
             let affected: usize = Cuisine::ALL
                 .iter()
                 .map(|&c| db.recipes_containing(crate::model::Item::Ingredient(a), Some(c)))
@@ -210,7 +214,10 @@ mod tests {
         assert!(db.catalog().ingredient("green onion").is_some());
         assert!(db.catalog().ingredient("scallion").is_some());
         assert!(merged.catalog().ingredient("green onion").is_none());
-        let scallion = merged.catalog().ingredient("scallion").expect("canonical kept");
+        let scallion = merged
+            .catalog()
+            .ingredient("scallion")
+            .expect("canonical kept");
 
         // Merged support >= each original support, and equals the count of
         // recipes containing either original.
@@ -233,7 +240,10 @@ mod tests {
         let db = CorpusGenerator::new(cfg).generate();
         let same = apply(&db, &AliasTable::new());
         assert_eq!(same.recipe_count(), db.recipe_count());
-        assert_eq!(same.catalog().ingredient_count(), db.catalog().ingredient_count());
+        assert_eq!(
+            same.catalog().ingredient_count(),
+            db.catalog().ingredient_count()
+        );
         for (a, b) in db.recipes().zip(same.recipes()) {
             assert_eq!(a.ingredients.len(), b.ingredients.len());
             assert_eq!(a.cuisine, b.cuisine);

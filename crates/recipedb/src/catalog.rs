@@ -69,7 +69,10 @@ impl Interner {
 
     /// Iterate over `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
     }
 
     /// Rebuild the reverse index after deserialization.
@@ -179,7 +182,10 @@ impl Catalog {
                 TokenId(n_ing + i)
             }
             Item::Utensil(UtensilId(i)) => {
-                debug_assert!((i as usize) < self.utensils.len(), "utensil id out of range");
+                debug_assert!(
+                    (i as usize) < self.utensils.len(),
+                    "utensil id out of range"
+                );
                 TokenId(n_ing + n_proc + i)
             }
         }

@@ -236,7 +236,10 @@ mod tests {
         let total = Cuisine::paper_total_recipes();
         assert_eq!(
             total,
-            Cuisine::ALL.iter().map(|c| c.paper_recipe_count()).sum::<usize>()
+            Cuisine::ALL
+                .iter()
+                .map(|c| c.paper_recipe_count())
+                .sum::<usize>()
         );
         // Sanity: within a few percent of the abstract's figure.
         assert!((100_000..130_000).contains(&total), "total = {total}");
@@ -253,6 +256,9 @@ mod tests {
 
     #[test]
     fn display_matches_name() {
-        assert_eq!(Cuisine::ChineseAndMongolian.to_string(), "Chinese and Mongolian");
+        assert_eq!(
+            Cuisine::ChineseAndMongolian.to_string(),
+            "Chinese and Mongolian"
+        );
     }
 }

@@ -33,7 +33,10 @@ impl fmt::Display for RecipeDbError {
                 write!(f, "recipe {} has a dangling reference: {detail}", recipe.0)
             }
             RecipeDbError::InconsistentId { expected, found } => {
-                write!(f, "recipe id {found} does not match its position {expected}")
+                write!(
+                    f,
+                    "recipe id {found} does not match its position {expected}"
+                )
             }
             RecipeDbError::Io(e) => write!(f, "io error: {e}"),
             RecipeDbError::Json(e) => write!(f, "json error: {e}"),
@@ -75,7 +78,10 @@ mod tests {
             detail: "ingredient 99".into(),
         };
         assert!(e.to_string().contains("recipe 3"));
-        let e = RecipeDbError::InconsistentId { expected: 1, found: 2 };
+        let e = RecipeDbError::InconsistentId {
+            expected: 1,
+            found: 2,
+        };
         assert!(e.to_string().contains("position 1"));
     }
 

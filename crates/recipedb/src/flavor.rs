@@ -65,7 +65,7 @@ impl FlavorTable {
             .map(|(i, &p)| (p, i as u32))
             .collect();
         let n_families = pools::ALL_POOLS.len() as u32 + 6; // + generic families
-        // Reverse map: ingredient name -> its pool family (if pooled).
+                                                            // Reverse map: ingredient name -> its pool family (if pooled).
         let mut pool_member: HashMap<&str, u32> = HashMap::new();
         for &pool in pools::ALL_POOLS {
             for &name in pools::regional_pool(pool) {

@@ -224,10 +224,8 @@ impl CorpusGenerator {
         // samples explicitly — otherwise the uniform top-up draws would
         // add ~3% to each calibrated probability and push sub-threshold
         // staples onto the mining-threshold knife edge.
-        let reserved: HashSet<(ItemKind, &str)> = specs
-            .iter()
-            .flat_map(|s| s.mentioned_items())
-            .collect();
+        let reserved: HashSet<(ItemKind, &str)> =
+            specs.iter().flat_map(|s| s.mentioned_items()).collect();
         let process_names = pools::process_names();
         let process_ids: Vec<ProcessId> = process_names
             .iter()
@@ -280,7 +278,9 @@ impl CorpusGenerator {
             }
         }
 
-        builder.build().expect("generated corpus is internally consistent")
+        builder
+            .build()
+            .expect("generated corpus is internally consistent")
     }
 
     /// The configuration in use.
@@ -352,11 +352,8 @@ fn compile_cuisine(
         .collect();
 
     // Items claimed by motifs: their staples are dropped (see module docs).
-    let motif_items: HashSet<(ItemKind, &str)> = s
-        .motifs
-        .iter()
-        .flat_map(|m| m.all_items())
-        .collect();
+    let motif_items: HashSet<(ItemKind, &str)> =
+        s.motifs.iter().flat_map(|m| m.all_items()).collect();
 
     let staples: Vec<CompiledStaple> = s
         .staples
@@ -532,8 +529,7 @@ mod tests {
 
     #[test]
     fn parallel_generation_is_bit_identical_to_sequential() {
-        let gen =
-            CorpusGenerator::new(GeneratorConfig::paper_scale(0.02).with_seed(2024));
+        let gen = CorpusGenerator::new(GeneratorConfig::paper_scale(0.02).with_seed(2024));
         let seq = gen.generate();
         for threads in [2, 4, 13] {
             let par = gen.generate_with_threads(threads);
@@ -602,7 +598,10 @@ mod tests {
         assert_eq!(db.catalog().process_count(), 268);
         assert_eq!(db.catalog().utensil_count(), 69);
         // Ingredient universe is the full 20,280 (usage varies with scale).
-        assert_eq!(db.catalog().ingredient_count(), pools::TARGET_UNIQUE_INGREDIENTS);
+        assert_eq!(
+            db.catalog().ingredient_count(),
+            pools::TARGET_UNIQUE_INGREDIENTS
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ fn ute(name: &'static str) -> (ItemKind, &'static str) {
 }
 
 fn motif(items: Vec<(ItemKind, &'static str)>, support: f64) -> MotifSpec {
-    MotifSpec { items, support, children: Vec::new() }
+    MotifSpec {
+        items,
+        support,
+        children: Vec::new(),
+    }
 }
 
 fn motif_with(
@@ -96,7 +100,11 @@ fn motif_with(
     support: f64,
     children: Vec<MotifSpec>,
 ) -> MotifSpec {
-    MotifSpec { items, support, children }
+    MotifSpec {
+        items,
+        support,
+        children,
+    }
 }
 
 /// The generic backbone shared by every cuisine. Probabilities are chosen
@@ -322,7 +330,10 @@ pub fn cuisine_spec(cuisine: Cuisine) -> CuisineSpec {
         IndianSubcontinent => CuisineSpec {
             cuisine,
             motifs: vec![
-                motif(vec![ing("onion"), prc("add"), prc("heat"), ing("salt")], 0.25),
+                motif(
+                    vec![ing("onion"), prc("add"), prc("heat"), ing("salt")],
+                    0.25,
+                ),
                 motif(vec![ing("cumin"), ing("coriander")], 0.225),
                 motif(vec![ing("turmeric")], 0.225),
                 motif(vec![ing("garam masala")], 0.225),
@@ -519,7 +530,10 @@ pub fn cuisine_spec(cuisine: Cuisine) -> CuisineSpec {
                 // and shares the whole subset lattice with the Indian
                 // primary motif — the basis of the India–North-Africa
                 // grouping the paper highlights.
-                motif(vec![ing("onion"), prc("add"), prc("heat"), ing("salt")], 0.225),
+                motif(
+                    vec![ing("onion"), prc("add"), prc("heat"), ing("salt")],
+                    0.225,
+                ),
                 motif(vec![ing("coriander")], 0.225),
                 motif(vec![ing("lemon juice")], 0.225),
             ],
@@ -636,7 +650,11 @@ mod tests {
                     spec.cuisine,
                     m.support
                 );
-                assert!(m.support >= 0.20, "{}: motif below mining threshold", spec.cuisine);
+                assert!(
+                    m.support >= 0.20,
+                    "{}: motif below mining threshold",
+                    spec.cuisine
+                );
                 for c in &m.children {
                     assert!(
                         c.support <= m.support + 1e-12,
@@ -648,7 +666,11 @@ mod tests {
                 }
             }
             for s in &spec.staples {
-                assert!((0.0..=1.0).contains(&s.prob), "{}: staple prob", spec.cuisine);
+                assert!(
+                    (0.0..=1.0).contains(&s.prob),
+                    "{}: staple prob",
+                    spec.cuisine
+                );
             }
             assert!(!spec.pools.is_empty(), "{}: no pools", spec.cuisine);
             assert!(!spec.paper_top.is_empty());
@@ -679,8 +701,7 @@ mod tests {
         for spec in all_specs() {
             let primary: std::collections::BTreeSet<&str> =
                 spec.motifs[0].all_items().iter().map(|&(_, n)| n).collect();
-            let paper: std::collections::BTreeSet<&str> =
-                spec.paper_top.iter().copied().collect();
+            let paper: std::collections::BTreeSet<&str> = spec.paper_top.iter().copied().collect();
             assert!(
                 paper.is_subset(&primary),
                 "{}: paper top {:?} not within primary motif {:?}",
@@ -730,14 +751,21 @@ mod tests {
         let french = cuisine_spec(Cuisine::French);
         let us = cuisine_spec(Cuisine::US);
         let names = |s: &CuisineSpec| -> std::collections::BTreeSet<&str> {
-            s.motifs.iter().flat_map(|m| m.all_items()).map(|(_, n)| n).collect()
+            s.motifs
+                .iter()
+                .flat_map(|m| m.all_items())
+                .map(|(_, n)| n)
+                .collect()
         };
         let ca = names(&canadian);
         let fr = names(&french);
         let usn = names(&us);
         let ca_fr = ca.intersection(&fr).count();
         let ca_us = ca.intersection(&usn).count();
-        assert!(ca_fr > ca_us, "Canada∩France {ca_fr} must exceed Canada∩US {ca_us}");
+        assert!(
+            ca_fr > ca_us,
+            "Canada∩France {ca_fr} must exceed Canada∩US {ca_us}"
+        );
     }
 
     #[test]
@@ -745,9 +773,16 @@ mod tests {
         let india = cuisine_spec(Cuisine::IndianSubcontinent);
         let nafrica = cuisine_spec(Cuisine::NorthernAfrica);
         let items = |s: &CuisineSpec| -> std::collections::BTreeSet<&str> {
-            s.motifs.iter().flat_map(|m| m.all_items()).map(|(_, n)| n).collect()
+            s.motifs
+                .iter()
+                .flat_map(|m| m.all_items())
+                .map(|(_, n)| n)
+                .collect()
         };
-        let shared: Vec<&str> = items(&india).intersection(&items(&nafrica)).copied().collect();
+        let shared: Vec<&str> = items(&india)
+            .intersection(&items(&nafrica))
+            .copied()
+            .collect();
         assert!(
             shared.contains(&"cumin") && shared.contains(&"cinnamon"),
             "spice belt must share cumin and cinnamon, got {shared:?}"

@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn item_kind_roundtrip() {
-        assert_eq!(Item::Ingredient(IngredientId(3)).kind(), ItemKind::Ingredient);
+        assert_eq!(
+            Item::Ingredient(IngredientId(3)).kind(),
+            ItemKind::Ingredient
+        );
         assert_eq!(Item::Process(ProcessId(3)).kind(), ItemKind::Process);
         assert_eq!(Item::Utensil(UtensilId(3)).kind(), ItemKind::Utensil);
         assert_eq!(Item::Utensil(UtensilId(3)).raw(), 3);

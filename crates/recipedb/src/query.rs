@@ -173,7 +173,11 @@ impl CooccurrenceCounts {
                 }
             }
         }
-        CooccurrenceCounts { n_recipes, marginals: keep, pairs }
+        CooccurrenceCounts {
+            n_recipes,
+            marginals: keep,
+            pairs,
+        }
     }
 
     /// Co-occurrence count of a pair (order-insensitive).
@@ -200,9 +204,27 @@ mod tests {
         let rice = b.catalog_mut().intern_ingredient("rice");
         let heat = b.catalog_mut().intern_process("heat");
         let wok = b.catalog_mut().intern_utensil("wok");
-        b.add_recipe("teriyaki bowl", Cuisine::Japanese, vec![soy, rice], vec![heat], vec![wok]);
-        b.add_recipe("plain rice", Cuisine::Japanese, vec![rice], vec![heat], vec![]);
-        b.add_recipe("fried rice", Cuisine::Thai, vec![soy, rice], vec![heat], vec![wok]);
+        b.add_recipe(
+            "teriyaki bowl",
+            Cuisine::Japanese,
+            vec![soy, rice],
+            vec![heat],
+            vec![wok],
+        );
+        b.add_recipe(
+            "plain rice",
+            Cuisine::Japanese,
+            vec![rice],
+            vec![heat],
+            vec![],
+        );
+        b.add_recipe(
+            "fried rice",
+            Cuisine::Thai,
+            vec![soy, rice],
+            vec![heat],
+            vec![wok],
+        );
         (b.build().unwrap(), soy, rice)
     }
 

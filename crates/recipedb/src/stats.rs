@@ -68,11 +68,26 @@ impl CorpusStats {
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("recipes:               {}\n", self.total_recipes));
-        out.push_str(&format!("unique ingredients:    {}\n", self.unique_ingredients));
-        out.push_str(&format!("unique processes:      {}\n", self.unique_processes));
-        out.push_str(&format!("unique utensils:       {}\n", self.unique_utensils));
-        out.push_str(&format!("avg ingredients/recipe: {:.2}\n", self.avg_ingredients));
-        out.push_str(&format!("avg processes/recipe:   {:.2}\n", self.avg_processes));
+        out.push_str(&format!(
+            "unique ingredients:    {}\n",
+            self.unique_ingredients
+        ));
+        out.push_str(&format!(
+            "unique processes:      {}\n",
+            self.unique_processes
+        ));
+        out.push_str(&format!(
+            "unique utensils:       {}\n",
+            self.unique_utensils
+        ));
+        out.push_str(&format!(
+            "avg ingredients/recipe: {:.2}\n",
+            self.avg_ingredients
+        ));
+        out.push_str(&format!(
+            "avg processes/recipe:   {:.2}\n",
+            self.avg_processes
+        ));
         out.push_str(&format!(
             "avg utensils/recipe (when present): {:.2}\n",
             self.avg_utensils_when_present

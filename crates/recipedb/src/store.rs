@@ -73,10 +73,7 @@ impl RecipeDb {
     /// the given item.
     pub fn recipes_containing(&self, item: Item, cuisine: Option<Cuisine>) -> usize {
         match cuisine {
-            Some(c) => self
-                .cuisine_recipes(c)
-                .filter(|r| r.contains(item))
-                .count(),
+            Some(c) => self.cuisine_recipes(c).filter(|r| r.contains(item)).count(),
             None => self.recipes.iter().filter(|r| r.contains(item)).count(),
         }
     }
@@ -125,8 +122,7 @@ impl RecipeDb {
 
     /// Tokenize one recipe into the unified token space (sorted, distinct).
     pub fn recipe_tokens(&self, recipe: &Recipe) -> Vec<TokenId> {
-        let mut toks: Vec<TokenId> =
-            recipe.items().map(|it| self.catalog.token_of(it)).collect();
+        let mut toks: Vec<TokenId> = recipe.items().map(|it| self.catalog.token_of(it)).collect();
         toks.sort_unstable();
         toks.dedup();
         toks
@@ -255,7 +251,13 @@ mod tests {
         let rice = b.catalog_mut().intern_ingredient("rice");
         let heat = b.catalog_mut().intern_process("heat");
         let wok = b.catalog_mut().intern_utensil("wok");
-        b.add_recipe("r0", Cuisine::Japanese, vec![soy, rice], vec![heat], vec![wok]);
+        b.add_recipe(
+            "r0",
+            Cuisine::Japanese,
+            vec![soy, rice],
+            vec![heat],
+            vec![wok],
+        );
         b.add_recipe("r1", Cuisine::Japanese, vec![soy], vec![heat], vec![]);
         b.add_recipe("r2", Cuisine::Thai, vec![rice], vec![], vec![]);
         b.build().expect("valid db")
@@ -316,9 +318,9 @@ mod tests {
     #[test]
     fn item_frequencies_count_recipes_not_occurrences() {
         let db = tiny_db();
-        let soy_tok = db
-            .catalog()
-            .token_of(Item::Ingredient(db.catalog().ingredient("soy sauce").unwrap()));
+        let soy_tok = db.catalog().token_of(Item::Ingredient(
+            db.catalog().ingredient("soy sauce").unwrap(),
+        ));
         let freq = db.item_frequencies(Cuisine::Japanese);
         assert_eq!(freq.get(&soy_tok), Some(&2));
     }

@@ -14,10 +14,10 @@ use recipedb::{io, Cuisine};
 /// An arbitrary small corpus: up to 20 recipes over small item universes.
 fn arb_db() -> impl Strategy<Value = RecipeDb> {
     let recipe = (
-        0usize..26,                                // cuisine index
-        prop::collection::vec(0usize..8, 0..6),    // ingredient picks
-        prop::collection::vec(0usize..4, 0..4),    // process picks
-        prop::collection::vec(0usize..3, 0..3),    // utensil picks
+        0usize..26,                             // cuisine index
+        prop::collection::vec(0usize..8, 0..6), // ingredient picks
+        prop::collection::vec(0usize..4, 0..4), // process picks
+        prop::collection::vec(0usize..3, 0..3), // utensil picks
     );
     prop::collection::vec(recipe, 1..20).prop_map(|rows| {
         let mut b = RecipeDbBuilder::new();

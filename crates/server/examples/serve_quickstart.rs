@@ -11,7 +11,10 @@ fn main() {
     println!("serving on http://{}", server.addr());
 
     let (status, body) = server.get("/health").unwrap();
-    println!("GET /health -> {status}\n{}\n", String::from_utf8_lossy(&body));
+    println!(
+        "GET /health -> {status}\n{}\n",
+        String::from_utf8_lossy(&body)
+    );
 
     // The first atlas-backed request builds the quick atlas (seed 23);
     // everything after that is a cache hit.
@@ -23,7 +26,10 @@ fn main() {
     );
 
     let (status, body) = server.get("/fingerprint/Thai?k=3").unwrap();
-    println!("GET /fingerprint/Thai?k=3 -> {status}\n{}\n", String::from_utf8_lossy(&body));
+    println!(
+        "GET /fingerprint/Thai?k=3 -> {status}\n{}\n",
+        String::from_utf8_lossy(&body)
+    );
 
     let (status, _) = server.get("/table1").unwrap();
     println!(

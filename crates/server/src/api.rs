@@ -7,6 +7,7 @@
 //! bytes; concurrent cold requests for the same parameters trigger
 //! exactly one build.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -14,9 +15,7 @@ use clustering::hac::LinkageMethod;
 use clustering::Metric;
 use cuisine_atlas::compare::{geo_agreement, historical_claims};
 use cuisine_atlas::pipeline::{AtlasConfig, BuildTimings, CuisineAtlas};
-use cuisine_atlas::views::{
-    AgreementView, ElbowView, FingerprintView, Table1View, TreeView,
-};
+use cuisine_atlas::views::{AgreementView, ElbowView, FingerprintView, Table1View, TreeView};
 use recipedb::Cuisine;
 use serde::Serialize;
 use serde_json::json;
@@ -24,6 +23,7 @@ use serde_json::json;
 use crate::cache::{AtlasCache, CacheKey};
 use crate::error::ApiError;
 use crate::http::{Request, Response};
+use crate::metrics::MetricsRegistry;
 use crate::router::{PathParams, Router};
 use crate::singleflight::SingleFlight;
 
@@ -33,17 +33,22 @@ const MAX_SCALE: f64 = 1.0;
 const MAX_ELBOW_K: usize = 26;
 /// Largest per-extreme item count accepted by `/fingerprint`.
 const MAX_FINGERPRINT_K: usize = 100;
+/// Per-stage timings kept for the most recent cold builds — bounded so
+/// `/health` stays O(1) however long the server runs, deep enough that
+/// a build evicted from the LRU cache and rebuilt is still visible.
+const RECENT_BUILDS: usize = 8;
 
 /// Shared state behind every handler: the atlas cache, the
-/// single-flight table guarding cold builds, and counters for
-/// observability.
+/// single-flight table guarding cold builds, and the metrics registry
+/// every request reports into.
 pub struct AppState {
     cache: AtlasCache<CuisineAtlas>,
     flight: SingleFlight<CacheKey, CuisineAtlas>,
     builds: AtomicUsize,
     workers: usize,
     build_threads: usize,
-    last_timings: RwLock<Option<BuildTimings>>,
+    recent_timings: RwLock<VecDeque<BuildTimings>>,
+    metrics: MetricsRegistry,
 }
 
 impl AppState {
@@ -57,7 +62,8 @@ impl AppState {
             builds: AtomicUsize::new(0),
             workers,
             build_threads,
-            last_timings: RwLock::new(None),
+            recent_timings: RwLock::new(VecDeque::with_capacity(RECENT_BUILDS)),
+            metrics: MetricsRegistry::new(&router().labels()),
         }
     }
 
@@ -70,7 +76,24 @@ impl AppState {
 
     /// Per-stage timings of the most recent cold atlas build, if any.
     pub fn last_build_timings(&self) -> Option<BuildTimings> {
-        *self.last_timings.read().unwrap()
+        self.recent_timings.read().unwrap().back().copied()
+    }
+
+    /// Per-stage timings of up to the last [`RECENT_BUILDS`] cold
+    /// builds, most recent first.
+    pub fn recent_build_timings(&self) -> Vec<BuildTimings> {
+        self.recent_timings
+            .read()
+            .unwrap()
+            .iter()
+            .rev()
+            .copied()
+            .collect()
+    }
+
+    /// The request-level metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The atlas for `config` — cached, or built once even under
@@ -81,16 +104,27 @@ impl AppState {
     pub fn atlas(&self, config: &AtlasConfig) -> Arc<CuisineAtlas> {
         let key = CacheKey::from_config(config);
         if let Some(atlas) = self.cache.get(&key) {
+            self.metrics.record_cache_hit();
             return atlas;
         }
-        let atlas = self.flight.work(&key, || {
+        self.metrics.record_cache_miss();
+        let (atlas, led) = self.flight.work_flagged(&key, || {
             self.builds.fetch_add(1, Ordering::SeqCst);
-            let built = CuisineAtlas::build(
+            self.metrics.record_build();
+            let built = CuisineAtlas::build_with_sink(
                 &config.clone().with_build_threads(self.build_threads),
+                &self.metrics,
             );
-            *self.last_timings.write().unwrap() = Some(built.timings());
+            let mut recent = self.recent_timings.write().unwrap();
+            if recent.len() == RECENT_BUILDS {
+                recent.pop_front();
+            }
+            recent.push_back(built.timings());
             built
         });
+        if !led {
+            self.metrics.record_dedup();
+        }
         self.cache.insert(key, Arc::clone(&atlas));
         atlas
     }
@@ -182,19 +216,40 @@ pub fn router() -> Router<AppState> {
         .get("/compare", compare)
         .get("/fingerprint/:cuisine", fingerprint)
         .get("/elbow", elbow)
+        .get("/metrics", metrics)
+}
+
+fn timings_json(t: &BuildTimings) -> serde_json::Value {
+    json!({
+        "generate": (t.generate_ms),
+        "mine": (t.mine_ms),
+        "features": (t.features_ms),
+        "pdist": (t.pdist_ms),
+        "total": (t.total_ms()),
+    })
 }
 
 fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
     let (hits, misses) = state.cache.stats();
-    let last_build_ms = state.last_build_timings().map(|t| {
-        json!({
-            "generate": (t.generate_ms),
-            "mine": (t.mine_ms),
-            "features": (t.features_ms),
-            "pdist": (t.pdist_ms),
-            "total": (t.total_ms()),
-        })
-    });
+    let recent = state.recent_build_timings();
+    let last_build_ms = recent.first().map(timings_json);
+    let recent_builds_ms: Vec<serde_json::Value> = recent.iter().map(timings_json).collect();
+    // Per-endpoint latency summary, only for endpoints that saw traffic.
+    let mut latency_ms = serde_json::Map::new();
+    for e in state.metrics.endpoints() {
+        let snap = e.latency();
+        if snap.count() == 0 {
+            continue;
+        }
+        latency_ms.insert(
+            e.label().to_string(),
+            json!({
+                "count": (snap.count()),
+                "p50": (snap.quantile(0.5).map(|s| s * 1e3)),
+                "p99": (snap.quantile(0.99).map(|s| s * 1e3)),
+            }),
+        );
+    }
     ok_json(&json!({
         "status": "ok",
         "workers": (state.workers),
@@ -204,7 +259,32 @@ fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, Api
         "cache_hits": hits,
         "cache_misses": misses,
         "last_build_ms": last_build_ms,
+        "recent_builds_ms": recent_builds_ms,
+        "latency_ms": (serde_json::Value::Object(latency_ms)),
     }))
+}
+
+fn metrics(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    // Gauges owned by the cache, appended to the registry's rendering
+    // so /metrics is the one-stop scrape target.
+    let (hits, misses) = state.cache.stats();
+    let extra = format!(
+        "# HELP atlas_cached_atlases Atlases currently in the LRU cache.\n\
+         # TYPE atlas_cached_atlases gauge\n\
+         atlas_cached_atlases {}\n\
+         # HELP atlas_cache_lookup_hits_total Cache-internal hit counter.\n\
+         # TYPE atlas_cache_lookup_hits_total counter\n\
+         atlas_cache_lookup_hits_total {hits}\n\
+         # HELP atlas_cache_lookup_misses_total Cache-internal miss counter.\n\
+         # TYPE atlas_cache_lookup_misses_total counter\n\
+         atlas_cache_lookup_misses_total {misses}\n",
+        state.cache.len(),
+    );
+    Ok(Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: state.metrics.render_prometheus(&extra).into_bytes(),
+    })
 }
 
 fn cuisines(_: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
@@ -257,9 +337,7 @@ fn compare(state: &AppState, request: &Request, _: &PathParams) -> Result<Respon
     ];
     let views: Vec<AgreementView> = trees
         .iter()
-        .map(|tree| {
-            AgreementView::from_parts(&geo_agreement(tree, &geo), &historical_claims(tree))
-        })
+        .map(|tree| AgreementView::from_parts(&geo_agreement(tree, &geo), &historical_claims(tree)))
         .collect();
     ok_json(&views)
 }
@@ -289,7 +367,12 @@ fn fingerprint(
     let config = config_from_query(request)?;
     let atlas = state.atlas(&config);
     let matrix = atlas.authenticity_matrix();
-    ok_json(&FingerprintView::from_matrix(&matrix, atlas.db(), cuisine, k))
+    ok_json(&FingerprintView::from_matrix(
+        &matrix,
+        atlas.db(),
+        cuisine,
+        k,
+    ))
 }
 
 fn elbow(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
@@ -310,7 +393,11 @@ fn elbow(state: &AppState, request: &Request, _: &PathParams) -> Result<Response
     let config = config_from_query(request)?;
     let seed = config.corpus.seed;
     let atlas = state.atlas(&config);
-    ok_json(&ElbowView { k_max, seed, wcss: atlas.elbow_curve(k_max, seed) })
+    ok_json(&ElbowView {
+        k_max,
+        seed,
+        wcss: atlas.elbow_curve(k_max, seed),
+    })
 }
 
 #[cfg(test)]
@@ -361,23 +448,33 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         assert_eq!(
-            config_from_query(&req("/t", &[("seed", "x")])).unwrap_err().status,
+            config_from_query(&req("/t", &[("seed", "x")]))
+                .unwrap_err()
+                .status,
             400
         );
         assert_eq!(
-            config_from_query(&req("/t", &[("scale", "0")])).unwrap_err().status,
+            config_from_query(&req("/t", &[("scale", "0")]))
+                .unwrap_err()
+                .status,
             400
         );
         assert_eq!(
-            config_from_query(&req("/t", &[("scale", "2.0")])).unwrap_err().status,
+            config_from_query(&req("/t", &[("scale", "2.0")]))
+                .unwrap_err()
+                .status,
             400
         );
         assert_eq!(
-            config_from_query(&req("/t", &[("min_support", "1.5")])).unwrap_err().status,
+            config_from_query(&req("/t", &[("min_support", "1.5")]))
+                .unwrap_err()
+                .status,
             400
         );
         assert_eq!(
-            config_from_query(&req("/t", &[("linkage", "mystery")])).unwrap_err().status,
+            config_from_query(&req("/t", &[("linkage", "mystery")]))
+                .unwrap_err()
+                .status,
             400
         );
         assert_eq!(metric_from_name("manhattan").unwrap_err().status, 404);

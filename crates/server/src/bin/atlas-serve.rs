@@ -3,14 +3,16 @@
 //! ```text
 //! atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--cache-capacity N] [--build-threads N]
-//!             [--prewarm SEED[,SEED...]]
+//!             [--prewarm SEED[,SEED...]] [--access-log]
 //! ```
 //!
 //! `--prewarm` builds the quick atlas for each listed seed before
 //! accepting connections, so first requests are cache hits.
 //! `--build-threads` caps the worker threads used per cold atlas build
 //! (default: all available cores); the built atlases are bit-for-bit
-//! identical for every thread count.
+//! identical for every thread count. `--access-log` writes one JSON
+//! line per served request to stdout; scrape `/metrics` for Prometheus
+//! counters and latency histograms.
 
 use atlas_server::{handle, ServerConfig, ServerHandle};
 use cuisine_atlas::pipeline::AtlasConfig;
@@ -23,7 +25,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--cache-capacity N] [--build-threads N] [--prewarm SEED[,SEED...]]"
+         [--cache-capacity N] [--build-threads N] [--prewarm SEED[,SEED...]] \
+         [--access-log]"
     );
     std::process::exit(2);
 }
@@ -47,9 +50,7 @@ fn parse_options() -> Options {
         };
         match flag.as_str() {
             "--addr" => options.config.addr = value("--addr"),
-            "--workers" => {
-                options.config.workers = parse_num(&value("--workers"), "--workers")
-            }
+            "--workers" => options.config.workers = parse_num(&value("--workers"), "--workers"),
             "--queue-cap" => {
                 options.config.queue_cap = parse_num(&value("--queue-cap"), "--queue-cap")
             }
@@ -67,6 +68,7 @@ fn parse_options() -> Options {
                     .map(|s| parse_num(s, "--prewarm"))
                     .collect()
             }
+            "--access-log" => options.config.access_log = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -113,6 +115,7 @@ fn main() {
         options.config.cache_capacity,
     );
     println!("try: curl http://{}/health", server.addr());
+    println!("     curl http://{}/metrics", server.addr());
     // Serve until the process is killed; the handle joins on drop.
     loop {
         std::thread::park();

@@ -99,10 +99,13 @@ impl<V> AtlasCache<V> {
     /// while the cache is over its total capacity.
     pub fn insert(&self, key: CacheKey, value: Arc<V>) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        self.shard(&key)
-            .write()
-            .unwrap()
-            .insert(key, Entry { value, last_used: now });
+        self.shard(&key).write().unwrap().insert(
+            key,
+            Entry {
+                value,
+                last_used: now,
+            },
+        );
         while self.len() > self.capacity {
             // Find the globally-oldest entry (reads), then remove it
             // (write). A concurrent hit can bump it in between — then
@@ -137,7 +140,10 @@ impl<V> AtlasCache<V> {
 
     /// `(hits, misses)` since startup.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 

@@ -15,27 +15,42 @@ pub struct ApiError {
 impl ApiError {
     /// 400 — the request was syntactically or semantically invalid.
     pub fn bad_request(msg: impl Into<String>) -> Self {
-        ApiError { status: 400, message: msg.into() }
+        ApiError {
+            status: 400,
+            message: msg.into(),
+        }
     }
 
     /// 404 — no route or resource.
     pub fn not_found(msg: impl Into<String>) -> Self {
-        ApiError { status: 404, message: msg.into() }
+        ApiError {
+            status: 404,
+            message: msg.into(),
+        }
     }
 
     /// 405 — the path exists but not under this method.
     pub fn method_not_allowed(msg: impl Into<String>) -> Self {
-        ApiError { status: 405, message: msg.into() }
+        ApiError {
+            status: 405,
+            message: msg.into(),
+        }
     }
 
     /// 500 — handler failure.
     pub fn internal(msg: impl Into<String>) -> Self {
-        ApiError { status: 500, message: msg.into() }
+        ApiError {
+            status: 500,
+            message: msg.into(),
+        }
     }
 
     /// 503 — the server is saturated or shutting down.
     pub fn unavailable(msg: impl Into<String>) -> Self {
-        ApiError { status: 503, message: msg.into() }
+        ApiError {
+            status: 503,
+            message: msg.into(),
+        }
     }
 }
 
@@ -58,6 +73,9 @@ mod tests {
         assert_eq!(ApiError::method_not_allowed("x").status, 405);
         assert_eq!(ApiError::internal("x").status, 500);
         assert_eq!(ApiError::unavailable("x").status, 503);
-        assert_eq!(ApiError::not_found("no such tree").to_string(), "404 no such tree");
+        assert_eq!(
+            ApiError::not_found("no such tree").to_string(),
+            "404 no such tree"
+        );
     }
 }

@@ -6,7 +6,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 use crate::api::{self, AppState};
 use crate::error::ApiError;
@@ -51,13 +51,26 @@ impl ServerHandle {
         let accept_stop = Arc::clone(&stop);
         let workers = config.workers;
         let queue_cap = config.queue_cap;
+        let access_log = config.access_log;
         let accept_thread = std::thread::Builder::new()
             .name("atlas-accept".to_string())
             .spawn(move || {
-                accept_loop(listener, accept_state, accept_stop, workers, queue_cap);
+                accept_loop(
+                    listener,
+                    accept_state,
+                    accept_stop,
+                    workers,
+                    queue_cap,
+                    access_log,
+                );
             })?;
 
-        Ok(ServerHandle { addr, state, stop, accept_thread: Some(accept_thread) })
+        Ok(ServerHandle {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The address the server is listening on.
@@ -128,22 +141,38 @@ fn parse_client_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
     Ok((status, raw[header_end + 4..].to_vec()))
 }
 
-/// Accept connections until stopped, handing each to the worker pool.
+/// Accept connections until stopped, handing each to the worker pool
+/// stamped with its accept time so queue wait is measurable.
 fn accept_loop(
     listener: TcpListener,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
     workers: usize,
     queue_cap: usize,
+    access_log: bool,
 ) {
     // The pool lives (and dies) with the accept loop: when the loop
     // exits, dropping the pool drains queued connections and joins the
     // workers, so `ServerHandle::shutdown` only has to join this thread.
     let router = api::router();
     let handler_stop = Arc::clone(&stop);
-    let pool = WorkerPool::new(workers, queue_cap, move |stream: TcpStream| {
-        handle_connection(stream, &router, state.as_ref(), handler_stop.as_ref());
-    });
+    let handler_state = Arc::clone(&state);
+    let pool = WorkerPool::new(
+        workers,
+        queue_cap,
+        move |(stream, accepted): (TcpStream, Instant)| {
+            let metrics = handler_state.metrics();
+            metrics.record_connection();
+            metrics.record_queue_wait(accepted.elapsed());
+            handle_connection(
+                stream,
+                &router,
+                handler_state.as_ref(),
+                handler_stop.as_ref(),
+                access_log,
+            );
+        },
+    );
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -153,9 +182,12 @@ fn accept_loop(
                 if stop.load(Ordering::SeqCst) {
                     break; // wake-up connection — drop it and exit
                 }
-                if let Err(crate::pool::Rejected(mut stream)) = pool.try_execute(stream) {
+                if let Err(crate::pool::Rejected((mut stream, _))) =
+                    pool.try_execute((stream, Instant::now()))
+                {
                     // Load shedding: the queue is full, so tell the
                     // client instead of letting connections pile up.
+                    state.metrics().record_shed();
                     let resp = api::error_response(&ApiError::unavailable(
                         "server saturated, retry later",
                     ));
@@ -172,12 +204,14 @@ fn accept_loop(
 }
 
 /// Serve requests on one connection until it closes, errors, times out,
-/// or the server stops.
+/// or the server stops, recording metrics (and optionally a JSON-lines
+/// access-log entry) for every request.
 fn handle_connection(
     stream: TcpStream,
     router: &Router<AppState>,
     state: &AppState,
     stop: &AtomicBool,
+    access_log: bool,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -193,21 +227,79 @@ fn handle_connection(
             Ok(request) => request,
             Err(ParseError::ConnectionClosed) => break,
             Err(ParseError::Malformed(msg)) => {
+                state.metrics().record_parse_error();
                 let resp = api::error_response(&ApiError::bad_request(msg));
                 let _ = resp.write_to(&mut writer, false);
                 break;
             }
         };
-        let keep_alive =
-            request.wants_keep_alive() && served + 1 < MAX_REQUESTS_PER_CONNECTION;
-        let response = match router.dispatch(state, &request) {
+        let keep_alive = request.wants_keep_alive() && served + 1 < MAX_REQUESTS_PER_CONNECTION;
+        let started = Instant::now();
+        let (label, result) = router.dispatch_labeled(state, &request);
+        let response = match result {
             Ok(response) => response,
             Err(err) => api::error_response(&err),
         };
+        let handler = started.elapsed();
+        // Recorded after the handler ran, so a /metrics response never
+        // includes its own request; the next scrape does.
+        state
+            .metrics()
+            .record_request(label, response.status, handler);
+        if access_log {
+            write_access_log(
+                &request,
+                label,
+                response.status,
+                response.body.len(),
+                handler,
+            );
+        }
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             break;
         }
     }
+}
+
+/// Render one structured access-log line:
+/// `{"ts_ms":...,"method":"GET","path":"/table1","endpoint":"/table1",
+///   "status":200,"bytes":5301,"handler_ms":0.412}`.
+fn access_log_line(
+    request: &crate::http::Request,
+    label: Option<&str>,
+    status: u16,
+    bytes: usize,
+    handler: Duration,
+) -> String {
+    let ts_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    serde_json::json!({
+        "ts_ms": ts_ms,
+        "method": (request.method.as_str()),
+        "path": (request.path.as_str()),
+        "endpoint": (label.unwrap_or(crate::metrics::UNROUTED_LABEL)),
+        "status": status,
+        "bytes": bytes,
+        "handler_ms": (handler.as_secs_f64() * 1e3),
+    })
+    .to_string()
+}
+
+/// Emit one access-log line to stdout.
+fn write_access_log(
+    request: &crate::http::Request,
+    label: Option<&str>,
+    status: u16,
+    bytes: usize,
+    handler: Duration,
+) {
+    let line = access_log_line(request, label, status, bytes, handler);
+    // One locked write per line keeps concurrent workers' lines whole.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "{line}");
 }
 
 /// Build every atlas the given configs describe, so first requests hit
@@ -225,10 +317,42 @@ mod tests {
     #[test]
     fn client_response_parser_handles_status_and_body() {
         let (status, body) =
-            parse_client_response(b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno").unwrap();
+            parse_client_response(b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno")
+                .unwrap();
         assert_eq!(status, 404);
         assert_eq!(body, b"no");
         assert!(parse_client_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn access_log_lines_are_json_with_the_request_fields() {
+        let request = crate::http::Request {
+            method: "GET".to_string(),
+            path: "/tree/pattern/cosine".to_string(),
+            query: vec![("seed".to_string(), "7".to_string())],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let line = access_log_line(
+            &request,
+            Some("/tree/pattern/:metric"),
+            200,
+            5301,
+            Duration::from_micros(412),
+        );
+        let parsed = serde_json::parse_value(&line).expect("access log line is valid JSON");
+        let get = |k: &str| {
+            parsed
+                .get(k)
+                .unwrap_or_else(|| panic!("missing {k}: {line}"))
+        };
+        assert_eq!(get("method").as_str(), Some("GET"));
+        assert_eq!(get("path").as_str(), Some("/tree/pattern/cosine"));
+        assert_eq!(get("endpoint").as_str(), Some("/tree/pattern/:metric"));
+        assert_eq!(get("status").as_f64(), Some(200.0));
+        assert_eq!(get("bytes").as_f64(), Some(5301.0));
+        assert!(get("handler_ms").as_f64().unwrap() > 0.0);
+        assert!(get("ts_ms").as_f64().unwrap() > 0.0);
     }
 
     #[test]
@@ -248,7 +372,11 @@ mod tests {
         assert_eq!(server.get("/nope").unwrap().0, 404);
         // Raw request with a different method to check 405 mapping.
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        write!(stream, "DELETE /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "DELETE /health HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut raw = Vec::new();
         stream.read_to_end(&mut raw).unwrap();
         assert_eq!(parse_client_response(&raw).unwrap().0, 405);

@@ -95,7 +95,9 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
         None => (target, None),
     };
     if !raw_path.starts_with('/') {
-        return Err(ParseError::Malformed(format!("bad request target: {target}")));
+        return Err(ParseError::Malformed(format!(
+            "bad request target: {target}"
+        )));
     }
     let path = percent_decode(raw_path)
         .ok_or_else(|| ParseError::Malformed("bad percent-encoding in path".into()))?;
@@ -136,7 +138,13 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
         None => Vec::new(),
     };
 
-    Ok(Request { method, path, query, headers, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
 }
 
 /// Read a CRLF- (or LF-) terminated line; empty string at EOF.
@@ -223,7 +231,11 @@ pub struct Response {
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
-        Response { status, content_type: "application/json", body: body.into() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
     }
 
     /// Write the response, announcing whether the connection stays open.
@@ -292,12 +304,18 @@ mod tests {
     #[test]
     fn eof_is_connection_closed_and_garbage_is_malformed() {
         assert_eq!(parse("").unwrap_err(), ParseError::ConnectionClosed);
-        assert!(matches!(parse("garbage\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+        assert!(matches!(
+            parse("garbage\r\n\r\n").unwrap_err(),
+            ParseError::Malformed(_)
+        ));
         assert!(matches!(
             parse("GET /x HTTP/2.0\r\n\r\n").unwrap_err(),
             ParseError::Malformed(_)
         ));
-        assert!(matches!(parse("GET noslash HTTP/1.1\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+        assert!(matches!(
+            parse("GET noslash HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -319,7 +337,9 @@ mod tests {
     #[test]
     fn response_writes_status_line_and_length() {
         let mut buf = Vec::new();
-        Response::json(200, r#"{"ok":true}"#).write_to(&mut buf, true).unwrap();
+        Response::json(200, r#"{"ok":true}"#)
+            .write_to(&mut buf, true)
+            .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));

@@ -25,6 +25,7 @@ pub mod cache;
 pub mod error;
 pub mod handle;
 pub mod http;
+pub mod metrics;
 pub mod pool;
 pub mod router;
 pub mod singleflight;
@@ -49,6 +50,9 @@ pub struct ServerConfig {
     /// parallelism). Purely a wall-clock knob — every thread count
     /// builds bit-for-bit identical atlases.
     pub build_threads: usize,
+    /// Emit one JSON line per served request on stdout (the
+    /// `atlas-serve --access-log` flag).
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +63,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             cache_capacity: 4,
             build_threads: 0,
+            access_log: false,
         }
     }
 }

@@ -8,13 +8,14 @@
 //! Dropping the pool (or calling [`WorkerPool::shutdown`]) closes the
 //! channel; workers drain what is queued and exit.
 
-use crossbeam::channel::{self, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A fixed pool of worker threads consuming items from a bounded queue.
 pub struct WorkerPool<T> {
     sender: Option<Sender<T>>,
+    receiver: Receiver<T>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -44,12 +45,22 @@ impl<T: Send + 'static> WorkerPool<T> {
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { sender: Some(sender), workers }
+        WorkerPool {
+            sender: Some(sender),
+            receiver,
+            workers,
+        }
     }
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Items currently waiting in the queue (a point-in-time gauge for
+    /// observability; racy by nature, exact at the instant it is read).
+    pub fn queue_len(&self) -> usize {
+        self.receiver.len()
     }
 
     /// Submit an item, failing fast when the queue is full or the pool
@@ -145,6 +156,11 @@ mod tests {
             }
         }
         assert_eq!(bounced, Some(false));
+        assert_eq!(
+            pool.queue_len(),
+            1,
+            "the bounce means the queue is at capacity"
+        );
         gate.wait();
     }
 

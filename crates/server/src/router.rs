@@ -26,10 +26,12 @@ impl PathParams {
 
 /// A handler: context + request + captures, returning a response or an
 /// API error (which the server renders as a JSON error body).
-pub type Handler<C> = Box<dyn Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync>;
+pub type Handler<C> =
+    Box<dyn Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync>;
 
 struct Route<C> {
     method: &'static str,
+    pattern: &'static str,
     segments: Vec<Segment>,
     handler: Handler<C>,
 }
@@ -56,8 +58,9 @@ impl<C> Router<C> {
         Router { routes: Vec::new() }
     }
 
-    /// Register a handler for `method` + `pattern`.
-    pub fn route<H>(mut self, method: &'static str, pattern: &str, handler: H) -> Self
+    /// Register a handler for `method` + `pattern`. The pattern doubles
+    /// as the route's metrics label, so it must be a static literal.
+    pub fn route<H>(mut self, method: &'static str, pattern: &'static str, handler: H) -> Self
     where
         H: Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync + 'static,
     {
@@ -67,36 +70,67 @@ impl<C> Router<C> {
                 None => Segment::Literal(s.to_string()),
             })
             .collect();
-        self.routes.push(Route { method, segments, handler: Box::new(handler) });
+        self.routes.push(Route {
+            method,
+            pattern,
+            segments,
+            handler: Box::new(handler),
+        });
         self
     }
 
     /// Shorthand for a GET route.
-    pub fn get<H>(self, pattern: &str, handler: H) -> Self
+    pub fn get<H>(self, pattern: &'static str, handler: H) -> Self
     where
         H: Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync + 'static,
     {
         self.route("GET", pattern, handler)
     }
 
+    /// The registered route patterns, registration order.
+    pub fn labels(&self) -> Vec<&'static str> {
+        self.routes.iter().map(|r| r.pattern).collect()
+    }
+
     /// Dispatch a request; errors carry the right 404/405 status.
     pub fn dispatch(&self, ctx: &C, request: &Request) -> Result<Response, ApiError> {
-        let mut path_matched = false;
+        self.dispatch_labeled(ctx, request).1
+    }
+
+    /// Dispatch a request, also returning the pattern of the route that
+    /// handled (or method-rejected) it — `None` when no pattern matched
+    /// the path. The pattern, not the raw path, is the label request
+    /// metrics are recorded under, keeping label cardinality bounded by
+    /// the routing table.
+    pub fn dispatch_labeled(
+        &self,
+        ctx: &C,
+        request: &Request,
+    ) -> (Option<&'static str>, Result<Response, ApiError>) {
+        let mut matched: Option<&'static str> = None;
         for route in &self.routes {
             if let Some(params) = match_segments(&route.segments, &request.path) {
-                path_matched = true;
+                matched.get_or_insert(route.pattern);
                 if route.method == request.method {
-                    return (route.handler)(ctx, request, &params);
+                    return (Some(route.pattern), (route.handler)(ctx, request, &params));
                 }
             }
         }
-        if path_matched {
-            Err(ApiError::method_not_allowed(format!(
-                "method {} not allowed for {}",
-                request.method, request.path
-            )))
-        } else {
-            Err(ApiError::not_found(format!("no route for {}", request.path)))
+        match matched {
+            Some(pattern) => (
+                Some(pattern),
+                Err(ApiError::method_not_allowed(format!(
+                    "method {} not allowed for {}",
+                    request.method, request.path
+                ))),
+            ),
+            None => (
+                None,
+                Err(ApiError::not_found(format!(
+                    "no route for {}",
+                    request.path
+                ))),
+            ),
         }
     }
 }
@@ -145,7 +179,10 @@ mod tests {
         Router::new()
             .get("/health", |_, _, _| Ok(Response::json(200, "{}")))
             .get("/tree/pattern/:metric", |_, _, p| {
-                Ok(Response::json(200, format!(r#"{{"metric":"{}"}}"#, p.get("metric").unwrap())))
+                Ok(Response::json(
+                    200,
+                    format!(r#"{{"metric":"{}"}}"#, p.get("metric").unwrap()),
+                ))
             })
             .get("/fingerprint/:cuisine", |_, _, p| {
                 Ok(Response::json(200, p.get("cuisine").unwrap().to_string()))
@@ -156,21 +193,38 @@ mod tests {
     fn literal_and_capture_routes_match() {
         let r = router();
         assert_eq!(r.dispatch(&(), &req("GET", "/health")).unwrap().status, 200);
-        let resp = r.dispatch(&(), &req("GET", "/tree/pattern/cosine")).unwrap();
+        let resp = r
+            .dispatch(&(), &req("GET", "/tree/pattern/cosine"))
+            .unwrap();
         assert_eq!(resp.body, br#"{"metric":"cosine"}"#);
-        let resp = r.dispatch(&(), &req("GET", "/fingerprint/Indian Subcontinent")).unwrap();
+        let resp = r
+            .dispatch(&(), &req("GET", "/fingerprint/Indian Subcontinent"))
+            .unwrap();
         assert_eq!(resp.body, b"Indian Subcontinent");
     }
 
     #[test]
     fn unknown_path_is_404_wrong_method_is_405() {
         let r = router();
-        assert_eq!(r.dispatch(&(), &req("GET", "/nope")).unwrap_err().status, 404);
-        assert_eq!(r.dispatch(&(), &req("POST", "/health")).unwrap_err().status, 405);
-        // Too many / too few segments fall through to 404.
-        assert_eq!(r.dispatch(&(), &req("GET", "/tree/pattern")).unwrap_err().status, 404);
         assert_eq!(
-            r.dispatch(&(), &req("GET", "/tree/pattern/cosine/extra")).unwrap_err().status,
+            r.dispatch(&(), &req("GET", "/nope")).unwrap_err().status,
+            404
+        );
+        assert_eq!(
+            r.dispatch(&(), &req("POST", "/health")).unwrap_err().status,
+            405
+        );
+        // Too many / too few segments fall through to 404.
+        assert_eq!(
+            r.dispatch(&(), &req("GET", "/tree/pattern"))
+                .unwrap_err()
+                .status,
+            404
+        );
+        assert_eq!(
+            r.dispatch(&(), &req("GET", "/tree/pattern/cosine/extra"))
+                .unwrap_err()
+                .status,
             404
         );
     }
@@ -178,6 +232,28 @@ mod tests {
     #[test]
     fn trailing_slash_is_tolerated() {
         let r = router();
-        assert_eq!(r.dispatch(&(), &req("GET", "/health/")).unwrap().status, 200);
+        assert_eq!(
+            r.dispatch(&(), &req("GET", "/health/")).unwrap().status,
+            200
+        );
+    }
+
+    #[test]
+    fn dispatch_reports_the_matched_pattern_as_label() {
+        let r = router();
+        let (label, result) = r.dispatch_labeled(&(), &req("GET", "/tree/pattern/cosine"));
+        assert_eq!(label, Some("/tree/pattern/:metric"));
+        assert!(result.is_ok());
+        // 405 keeps the matched pattern; 404 has no label.
+        let (label, result) = r.dispatch_labeled(&(), &req("POST", "/health"));
+        assert_eq!(label, Some("/health"));
+        assert_eq!(result.unwrap_err().status, 405);
+        let (label, result) = r.dispatch_labeled(&(), &req("GET", "/nope"));
+        assert_eq!(label, None);
+        assert_eq!(result.unwrap_err().status, 404);
+        assert_eq!(
+            r.labels(),
+            ["/health", "/tree/pattern/:metric", "/fingerprint/:cuisine"]
+        );
     }
 }

@@ -28,12 +28,25 @@ impl<K: Eq + Hash + Clone, V> Default for SingleFlight<K, V> {
 impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
     /// An empty flight table.
     pub fn new() -> Self {
-        SingleFlight { inflight: Mutex::new(HashMap::new()) }
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Run `build` for `key`, unless another thread is already running
     /// it — then wait and share that thread's result instead.
     pub fn work<F>(&self, key: &K, build: F) -> Arc<V>
+    where
+        F: FnOnce() -> V,
+    {
+        self.work_flagged(key, build).0
+    }
+
+    /// [`SingleFlight::work`], also reporting whether this caller was
+    /// the leader (`true`: it ran `build`) or a deduplicated waiter
+    /// (`false`: it shared a concurrent leader's result) — the signal
+    /// behind the server's `atlas_build_dedup_total` metric.
+    pub fn work_flagged<F>(&self, key: &K, build: F) -> (Arc<V>, bool)
     where
         F: FnOnce() -> V,
     {
@@ -66,29 +79,31 @@ impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
                     self.flight.cond.notify_all();
                 }
             }
-            let cleanup = Cleanup { sf: self, key, flight: &flight };
+            let cleanup = Cleanup {
+                sf: self,
+                key,
+                flight: &flight,
+            };
             let value = Arc::new(build());
             *flight.done.lock().unwrap() = Some(Arc::clone(&value));
             drop(cleanup);
-            value
+            (value, true)
         } else {
             let mut done = flight.done.lock().unwrap();
             loop {
                 if let Some(value) = done.as_ref() {
-                    return Arc::clone(value);
+                    return (Arc::clone(value), false);
                 }
                 // Woken with no value: the leader panicked. Retry from
                 // the top — the flight entry is gone, so some waiter
                 // becomes the new leader.
                 let dropped = {
                     let inflight = self.inflight.lock().unwrap();
-                    !inflight
-                        .get(key)
-                        .is_some_and(|f| Arc::ptr_eq(f, &flight))
+                    !inflight.get(key).is_some_and(|f| Arc::ptr_eq(f, &flight))
                 };
                 if dropped {
                     drop(done);
-                    return self.work(key, build);
+                    return self.work_flagged(key, build);
                 }
                 done = flight.cond.wait(done).unwrap();
             }
@@ -126,6 +141,33 @@ mod tests {
             assert_eq!(h.join().unwrap(), 42);
         }
         assert_eq!(builds.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn work_flagged_marks_exactly_one_leader() {
+        let sf = Arc::new(SingleFlight::<String, u64>::new());
+        let start = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let (value, led) = sf.work_flagged(&"key".to_string(), || {
+                        std::thread::sleep(Duration::from_millis(50));
+                        9u64
+                    });
+                    assert_eq!(*value, 9);
+                    led
+                })
+            })
+            .collect();
+        let leaders = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&led| led)
+            .count();
+        assert_eq!(leaders, 1, "exactly one caller leads; 7 are deduplicated");
     }
 
     #[test]

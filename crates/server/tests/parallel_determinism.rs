@@ -22,8 +22,11 @@ fn parallel_threads() -> usize {
 }
 
 fn start(build_threads: usize) -> ServerHandle {
-    ServerHandle::start(ServerConfig { build_threads, ..ServerConfig::default() })
-        .expect("bind ephemeral port")
+    ServerHandle::start(ServerConfig {
+        build_threads,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
 }
 
 fn get_ok(server: &ServerHandle, path: &str) -> Vec<u8> {
@@ -70,8 +73,7 @@ fn servers_with_different_build_threads_serve_identical_bytes() {
         let a = get_ok(&sequential, path);
         let b = get_ok(&parallel, path);
         assert_eq!(
-            a,
-            b,
+            a, b,
             "GET {path}: build_threads=1 vs build_threads={n} must serve identical bytes"
         );
     }

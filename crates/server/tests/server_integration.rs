@@ -55,7 +55,10 @@ fn serves_every_endpoint_under_concurrency_with_one_build() {
         "6 concurrent cold requests must coalesce into exactly 1 atlas build"
     );
     for body in &bodies[1..] {
-        assert_eq!(body, &bodies[0], "all coalesced responses serve identical bytes");
+        assert_eq!(
+            body, &bodies[0],
+            "all coalesced responses serve identical bytes"
+        );
     }
     let table: Table1View =
         serde_json::from_str(std::str::from_utf8(&bodies[0]).unwrap()).expect("Table1View JSON");
@@ -88,7 +91,11 @@ fn serves_every_endpoint_under_concurrency_with_one_build() {
             });
         }
     });
-    assert_eq!(server.build_count(), 1, "the sweep must be served from cache");
+    assert_eq!(
+        server.build_count(),
+        1,
+        "the sweep must be served from cache"
+    );
 
     // --- Typed spot checks on each artifact.
     for metric in ["euclidean", "cosine", "jaccard"] {
@@ -124,11 +131,18 @@ fn serves_every_endpoint_under_concurrency_with_one_build() {
     let elbow: ElbowView =
         serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("ElbowView JSON");
     assert_eq!(elbow.wcss.len(), 4);
-    assert!(elbow.wcss.windows(2).all(|w| w[1] <= w[0] + 1e-9), "WCSS is non-increasing");
+    assert!(
+        elbow.wcss.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "WCSS is non-increasing"
+    );
 
     // --- Identical queries serve identical bytes, across artifacts.
     for path in &endpoints[2..] {
-        assert_eq!(get_ok(&server, path), get_ok(&server, path), "repeat GET {path}");
+        assert_eq!(
+            get_ok(&server, path),
+            get_ok(&server, path),
+            "repeat GET {path}"
+        );
     }
 
     // --- Error mapping.
@@ -143,7 +157,10 @@ fn serves_every_endpoint_under_concurrency_with_one_build() {
 
     // --- Health reflects the cache and build counters.
     let health = String::from_utf8(get_ok(&server, "/health")).unwrap();
-    assert!(health.contains("\"builds\": 1") || health.contains("\"builds\":1"), "{health}");
+    assert!(
+        health.contains("\"builds\": 1") || health.contains("\"builds\":1"),
+        "{health}"
+    );
 
     // --- Graceful shutdown: joins accept loop and workers, no panic.
     match Arc::try_unwrap(server) {

@@ -22,9 +22,18 @@ fn main() {
     println!("How far apart are these cuisines *on the map*? (km)");
     let gd = &geo.distances;
     let km = |a: Cuisine, b: Cuisine| gd.get(a.index(), b.index());
-    println!("  Canada–US:       {:>8.0}", km(Cuisine::Canadian, Cuisine::US));
-    println!("  Canada–France:   {:>8.0}", km(Cuisine::Canadian, Cuisine::French));
-    println!("  India–Thailand:  {:>8.0}", km(Cuisine::IndianSubcontinent, Cuisine::Thai));
+    println!(
+        "  Canada–US:       {:>8.0}",
+        km(Cuisine::Canadian, Cuisine::US)
+    );
+    println!(
+        "  Canada–France:   {:>8.0}",
+        km(Cuisine::Canadian, Cuisine::French)
+    );
+    println!(
+        "  India–Thailand:  {:>8.0}",
+        km(Cuisine::IndianSubcontinent, Cuisine::Thai)
+    );
     println!(
         "  India–N. Africa: {:>8.0}",
         km(Cuisine::IndianSubcontinent, Cuisine::NorthernAfrica)
@@ -44,7 +53,11 @@ fn main() {
             tree.description,
             ca_fr,
             ca_us,
-            if claims.canada_closer_to_france_than_us { "France wins" } else { "US wins" },
+            if claims.canada_closer_to_france_than_us {
+                "France wins"
+            } else {
+                "US wins"
+            },
             in_na,
             in_th,
             if claims.india_closer_to_north_africa_than_neighbors {

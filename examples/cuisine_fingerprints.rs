@@ -13,7 +13,12 @@ fn main() {
     let requested: Vec<Cuisine> = {
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.is_empty() {
-            vec![Cuisine::Japanese, Cuisine::Italian, Cuisine::IndianSubcontinent, Cuisine::UK]
+            vec![
+                Cuisine::Japanese,
+                Cuisine::Italian,
+                Cuisine::IndianSubcontinent,
+                Cuisine::UK,
+            ]
         } else {
             args.iter()
                 .map(|a| {

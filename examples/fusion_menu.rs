@@ -46,7 +46,12 @@ fn main() {
             features.pattern_sets[b.index()].iter().copied().collect();
         let mut anchors: Vec<(usize, &str)> = sa
             .intersection(&sb)
-            .map(|&code| (df[code as usize], features.vocabulary[code as usize].as_str()))
+            .map(|&code| {
+                (
+                    df[code as usize],
+                    features.vocabulary[code as usize].as_str(),
+                )
+            })
             .filter(|&(d, _)| d <= 8) // shared by few cuisines -> distinctive
             .collect();
         anchors.sort();

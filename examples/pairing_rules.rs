@@ -27,7 +27,10 @@ fn main() {
     let cp = &atlas.patterns()[cuisine.index()];
     let db = atlas.db();
 
-    let config = RuleConfig { min_confidence: 0.6, min_lift: 1.05 };
+    let config = RuleConfig {
+        min_confidence: 0.6,
+        min_lift: 1.05,
+    };
     let rules = induce_rules(&cp.itemsets, cp.n_recipes, &config);
 
     println!(

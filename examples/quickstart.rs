@@ -27,5 +27,8 @@ fn main() {
     println!("--- Table I ---\n{}", render_table1(&atlas.table1()));
 
     // Figure 2: the Euclidean pattern dendrogram.
-    println!("--- Figure 2 ---\n{}", render_tree(&atlas.pattern_tree(Metric::Euclidean)));
+    println!(
+        "--- Figure 2 ---\n{}",
+        render_tree(&atlas.pattern_tree(Metric::Euclidean))
+    );
 }

@@ -18,11 +18,22 @@ fn atlas() -> &'static CuisineAtlas {
 #[test]
 fn corpus_matches_paper_section3_shape() {
     let stats = atlas().db().stats();
-    assert_eq!(stats.recipes_per_cuisine.iter().filter(|&&n| n > 0).count(), 26);
+    assert_eq!(
+        stats.recipes_per_cuisine.iter().filter(|&&n| n > 0).count(),
+        26
+    );
     assert_eq!(stats.unique_processes, 268);
     assert_eq!(stats.unique_utensils, 69);
-    assert!((8.0..12.0).contains(&stats.avg_ingredients), "{}", stats.avg_ingredients);
-    assert!((10.0..14.0).contains(&stats.avg_processes), "{}", stats.avg_processes);
+    assert!(
+        (8.0..12.0).contains(&stats.avg_ingredients),
+        "{}",
+        stats.avg_ingredients
+    );
+    assert!(
+        (10.0..14.0).contains(&stats.avg_processes),
+        "{}",
+        stats.avg_processes
+    );
     assert!((2.0..4.0).contains(&stats.avg_utensils_when_present));
     let utensil_less = stats.recipes_without_utensils as f64 / stats.total_recipes as f64;
     assert!((0.10..0.15).contains(&utensil_less), "{utensil_less}");
@@ -80,7 +91,11 @@ fn historical_claims_hold_in_all_cuisine_trees_but_not_geography() {
         a.authenticity_tree(),
     ] {
         let claims = historical_claims(&tree);
-        assert!(claims.canada_closer_to_france_than_us, "{}", tree.description);
+        assert!(
+            claims.canada_closer_to_france_than_us,
+            "{}",
+            tree.description
+        );
         assert!(
             claims.india_closer_to_north_africa_than_neighbors,
             "{}",

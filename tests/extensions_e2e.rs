@@ -49,20 +49,18 @@ fn e2_alias_merge_keeps_the_pipeline_runnable_end_to_end() {
     // paper's future-work section is after.
     let carib = &table.rows[Cuisine::Caribbean.index()];
     assert!(
-        carib.top_patterns.iter().all(|p| !p.pattern.contains("garlic")),
+        carib
+            .top_patterns
+            .iter()
+            .all(|p| !p.pattern.contains("garlic")),
         "garlic must be generic after merging: {:?}",
         carib.top_patterns
     );
-    let generic = cuisine_atlas::patterns::generic_items(
-        merged.patterns(),
-        merged.config().generic_fraction,
-    );
-    let garlic = merged
-        .db()
-        .catalog()
-        .token_of(recipedb::Item::Ingredient(
-            merged.db().catalog().ingredient("garlic").unwrap(),
-        ));
+    let generic =
+        cuisine_atlas::patterns::generic_items(merged.patterns(), merged.config().generic_fraction);
+    let garlic = merged.db().catalog().token_of(recipedb::Item::Ingredient(
+        merged.db().catalog().ingredient("garlic").unwrap(),
+    ));
     assert!(generic.contains(&garlic.0), "merged garlic is generic");
     // The un-merged atlas still reports garlic clove for Caribbean.
     let base = &atlas().table1().rows[Cuisine::Caribbean.index()];
@@ -83,7 +81,10 @@ fn e4_linkage_sensitivity_keeps_claims_across_methods() {
     let report = linkage_sensitivity(atlas());
     // Every row ends with two claim booleans; none may be false.
     for line in report.lines().skip(2) {
-        assert!(!line.contains("false"), "claim failed under some linkage: {line}");
+        assert!(
+            !line.contains("false"),
+            "claim failed under some linkage: {line}"
+        );
     }
 }
 

@@ -33,7 +33,11 @@ fn transactions(db: &RecipeDb, cuisine: Cuisine) -> TransactionDb {
 #[test]
 fn all_miners_agree_on_cuisine_transactions() {
     let db = corpus();
-    for cuisine in [Cuisine::Korean, Cuisine::Italian, Cuisine::IndianSubcontinent] {
+    for cuisine in [
+        Cuisine::Korean,
+        Cuisine::Italian,
+        Cuisine::IndianSubcontinent,
+    ] {
         let tdb = transactions(&db, cuisine);
         let mut fp = FpGrowth::new(0.2).mine(&tdb);
         let mut ap = Apriori::new(0.2).mine(&tdb);
@@ -55,8 +59,7 @@ fn charm_matches_filtered_closed_sets_on_cuisine_data() {
     let db = corpus();
     for cuisine in [Cuisine::Korean, Cuisine::NorthernAfrica, Cuisine::US] {
         let tdb = transactions(&db, cuisine);
-        let mut reference =
-            pattern_mining::filter::closed(&FpGrowth::new(0.2).mine(&tdb));
+        let mut reference = pattern_mining::filter::closed(&FpGrowth::new(0.2).mine(&tdb));
         let mut charm = Charm::new(0.2).mine(&tdb);
         sort_canonical(&mut reference);
         sort_canonical(&mut charm);
@@ -84,11 +87,27 @@ fn rules_are_consistent_with_itemset_supports() {
     let db = corpus();
     let tdb = transactions(&db, Cuisine::Korean);
     let itemsets = FpGrowth::new(0.2).mine(&tdb);
-    let rules = induce_rules(&itemsets, tdb.len(), &RuleConfig { min_confidence: 0.1, min_lift: 0.0 });
+    let rules = induce_rules(
+        &itemsets,
+        tdb.len(),
+        &RuleConfig {
+            min_confidence: 0.1,
+            min_lift: 0.0,
+        },
+    );
     assert!(!rules.is_empty(), "Korean motifs must induce rules");
     for r in &rules {
-        assert!((0.0..=1.0 + 1e-9).contains(&r.confidence), "confidence {}", r.confidence);
-        assert!(r.support <= r.confidence + 1e-9, "supp {} > conf {}", r.support, r.confidence);
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&r.confidence),
+            "confidence {}",
+            r.confidence
+        );
+        assert!(
+            r.support <= r.confidence + 1e-9,
+            "supp {} > conf {}",
+            r.support,
+            r.confidence
+        );
         assert!(r.lift >= 0.0);
         // Confidence >= support of the union (since supp(A) <= 1).
         assert!(r.confidence + 1e-9 >= r.support);
@@ -96,9 +115,15 @@ fn rules_are_consistent_with_itemset_supports() {
     // The signature implication: sesame oil ⇒ soy sauce at high confidence
     // (soy sauce co-occurs in the Korean motif).
     let cat = db.catalog();
-    let soy = cat.token_of(recipedb::Item::Ingredient(cat.ingredient("soy sauce").unwrap())).0;
+    let soy = cat
+        .token_of(recipedb::Item::Ingredient(
+            cat.ingredient("soy sauce").unwrap(),
+        ))
+        .0;
     let sesame = cat
-        .token_of(recipedb::Item::Ingredient(cat.ingredient("sesame oil").unwrap()))
+        .token_of(recipedb::Item::Ingredient(
+            cat.ingredient("sesame oil").unwrap(),
+        ))
         .0;
     let rule = rules
         .iter()
@@ -117,5 +142,8 @@ fn mining_threshold_semantics_match_paper_convention() {
         .collect();
     let tdb = TransactionDb::from_rows(rows);
     let mined = FpGrowth::new(0.2).mine(&tdb);
-    assert!(mined.iter().any(|f| f.items.items() == [1, 2]), "exactly-20% itemset kept");
+    assert!(
+        mined.iter().any(|f| f.items.items() == [1, 2]),
+        "exactly-20% itemset kept"
+    );
 }

@@ -49,7 +49,10 @@ fn every_paper_top_pattern_is_recovered() {
                     "{}: paper pattern {:?} not in top significant patterns {:?}",
                     row.cuisine,
                     expected,
-                    row.top_patterns.iter().map(|p| &p.pattern).collect::<Vec<_>>()
+                    row.top_patterns
+                        .iter()
+                        .map(|p| &p.pattern)
+                        .collect::<Vec<_>>()
                 )
             });
         assert!(
