@@ -19,6 +19,10 @@
 //!             the configured scale for thread counts 1, 2 and all
 //!             cores, and write per-stage wall-clock entries to PATH
 //!             (default BENCH_atlas_build.json)
+//! --export-corpus PATH  skip the experiments; generate the corpus for
+//!             the configured scale/seed and write its RecipeDB JSON
+//!             snapshot to PATH — the format `POST /corpus` accepts
+//!             (see README "Bring your own corpus")
 //! --assert-speedup  with --bench-json: exit non-zero unless the build
 //!             at all cores beat the sequential build (skipped with a
 //!             warning on single-core hosts, where there is nothing to
@@ -44,6 +48,7 @@ struct Options {
     build_threads: usize,
     json: bool,
     bench_json: Option<String>,
+    export_corpus: Option<String>,
     assert_speedup: bool,
     experiments: Vec<String>,
 }
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
         build_threads: 0,
         json: false,
         bench_json: None,
+        export_corpus: None,
         assert_speedup: false,
         experiments: Vec::new(),
     };
@@ -105,11 +111,15 @@ fn parse_args() -> Result<Options, String> {
                 };
                 opts.bench_json = Some(path);
             }
+            "--export-corpus" => {
+                opts.export_corpus = Some(args.next().ok_or("--export-corpus needs a PATH")?);
+            }
             "--assert-speedup" => opts.assert_speedup = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--scale S] [--seed N] [--linkage M] [--build-threads N] \
-                     [--json] [--bench-json [PATH]] [--assert-speedup] [EXPERIMENT...]"
+                     [--json] [--bench-json [PATH]] [--export-corpus PATH] [--assert-speedup] \
+                     [EXPERIMENT...]"
                         .into(),
                 )
             }
@@ -143,6 +153,27 @@ fn main() -> ExitCode {
 
     if let Some(path) = &opts.bench_json {
         return run_bench_json(&config, &opts, path);
+    }
+
+    if let Some(path) = &opts.export_corpus {
+        // Generate only — no mining or clustering — and write the
+        // snapshot `POST /corpus` accepts.
+        let db = recipedb::generator::CorpusGenerator::new(config.corpus.clone()).generate();
+        eprintln!(
+            "exporting corpus: {} recipes, digest {} ...",
+            db.recipe_count(),
+            recipedb::corpus_digest(&db)
+        );
+        return match recipedb::io::save(&db, path) {
+            Ok(()) => {
+                eprintln!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     eprintln!(

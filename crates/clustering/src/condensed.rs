@@ -73,11 +73,13 @@ impl CondensedMatrix {
     /// Build from raw condensed data.
     ///
     /// # Panics
-    /// If `data.len() != n(n−1)/2`.
+    /// If `data.len() != n(n−1)/2`. Degenerate sizes are well-defined:
+    /// `n = 0` and `n = 1` both require an empty `data` (the naive
+    /// `n * (n - 1) / 2` would underflow at `n = 0`).
     pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
         assert_eq!(
             data.len(),
-            n * (n - 1) / 2,
+            n * n.saturating_sub(1) / 2,
             "condensed length mismatch for n={n}"
         );
         CondensedMatrix { n, data }
@@ -239,6 +241,28 @@ mod tests {
     #[should_panic(expected = "condensed length mismatch")]
     fn from_condensed_checks_length() {
         let _ = CondensedMatrix::from_condensed(4, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn from_condensed_degenerate_sizes() {
+        // n = 0: the length check must not underflow.
+        let empty = CondensedMatrix::from_condensed(0, Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_square(), Vec::<Vec<f64>>::new());
+        assert_eq!(empty.iter_pairs().count(), 0);
+        // n = 1: a single point has no pairs but a well-defined square.
+        let one = CondensedMatrix::from_condensed(1, Vec::new());
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert_eq!(one.get(0, 0), 0.0);
+        assert_eq!(one.to_square(), vec![vec![0.0]]);
+        assert_eq!(one.iter_pairs().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "condensed length mismatch")]
+    fn from_condensed_rejects_data_for_zero_points() {
+        let _ = CondensedMatrix::from_condensed(0, vec![1.0]);
     }
 
     #[test]

@@ -26,11 +26,17 @@ pub enum Normalizer {
 }
 
 /// Cuisines × items prevalence and relative-prevalence matrices.
+///
+/// Rows are in `cuisines` order — `Cuisine::ALL` for the paper's corpus,
+/// or the subset actually present in an uploaded one, so a cuisine's row
+/// index is its *position in `cuisines`*, not `Cuisine::index()`.
 #[derive(Debug, Clone)]
 pub struct AuthenticityMatrix {
+    /// The cuisines covered, in row order.
+    pub cuisines: Vec<Cuisine>,
     /// Item universe (token ids), in column order.
     pub items: Vec<TokenId>,
-    /// `prevalence[c][j]` = P of item `items[j]` in cuisine index `c`.
+    /// `prevalence[c][j]` = P of item `items[j]` in cuisine `cuisines[c]`.
     pub prevalence: Vec<Vec<f64>>,
     /// `relative[c][j]` = prevalence − mean prevalence over other cuisines.
     pub relative: Vec<Vec<f64>>,
@@ -43,15 +49,41 @@ impl AuthenticityMatrix {
         Self::with_normalizer(db, &[ItemKind::Ingredient], Normalizer::PerCuisine)
     }
 
+    /// [`AuthenticityMatrix::ingredients`] restricted to an explicit
+    /// cuisine list (rows in list order) — for corpora covering only a
+    /// subset of the 26 cuisines.
+    pub fn ingredients_over(db: &RecipeDb, cuisines: &[Cuisine]) -> Self {
+        Self::with_normalizer_over(
+            db,
+            cuisines,
+            &[ItemKind::Ingredient],
+            Normalizer::PerCuisine,
+        )
+    }
+
     /// Build over any subset of item kinds with an explicit normaliser.
     pub fn with_normalizer(db: &RecipeDb, kinds: &[ItemKind], norm: Normalizer) -> Self {
-        let n_cuisines = Cuisine::COUNT;
+        Self::with_normalizer_over(db, &Cuisine::ALL, kinds, norm)
+    }
+
+    /// [`AuthenticityMatrix::with_normalizer`] over an explicit cuisine
+    /// list. With `cuisines == Cuisine::ALL` the result is identical to
+    /// the unrestricted form; for a single-cuisine corpus there are no
+    /// "other cuisines", so relative prevalence equals prevalence rather
+    /// than dividing by zero.
+    pub fn with_normalizer_over(
+        db: &RecipeDb,
+        cuisines: &[Cuisine],
+        kinds: &[ItemKind],
+        norm: Normalizer,
+    ) -> Self {
+        let n_cuisines = cuisines.len();
         let corpus_total = db.recipe_count().max(1) as f64;
 
         // Count, per cuisine, in how many recipes each token occurs.
         let mut columns: HashMap<TokenId, usize> = HashMap::new();
         let mut counts: Vec<HashMap<TokenId, u32>> = Vec::with_capacity(n_cuisines);
-        for &c in &Cuisine::ALL {
+        for &c in cuisines {
             let freq = db.item_frequencies(c);
             for (&tok, _) in freq.iter() {
                 let kind = db.catalog().kind_of(tok).expect("token in catalog");
@@ -72,12 +104,11 @@ impl AuthenticityMatrix {
         let items: Vec<TokenId> = items.into_iter().map(|(t, _)| t).collect();
 
         let mut prevalence = vec![vec![0.0; items.len()]; n_cuisines];
-        for (&cuisine, freq) in Cuisine::ALL.iter().zip(&counts) {
+        for (row, (&cuisine, freq)) in prevalence.iter_mut().zip(cuisines.iter().zip(&counts)) {
             let denom = match norm {
                 Normalizer::PerCuisine => db.recipes_in(cuisine).max(1) as f64,
                 Normalizer::CorpusWide => corpus_total,
             };
-            let row = &mut prevalence[cuisine.index()];
             for (&tok, &n) in freq {
                 if let Some(&j) = col_of.get(&tok) {
                     row[j] = n as f64 / denom;
@@ -90,12 +121,17 @@ impl AuthenticityMatrix {
         for j in 0..items.len() {
             let total: f64 = prevalence.iter().map(|row| row[j]).sum();
             for c in 0..n_cuisines {
-                let others = (total - prevalence[c][j]) / (n_cuisines as f64 - 1.0);
+                let others = if n_cuisines > 1 {
+                    (total - prevalence[c][j]) / (n_cuisines as f64 - 1.0)
+                } else {
+                    0.0
+                };
                 relative[c][j] = prevalence[c][j] - others;
             }
         }
 
         AuthenticityMatrix {
+            cuisines: cuisines.to_vec(),
             items,
             prevalence,
             relative,
@@ -107,15 +143,31 @@ impl AuthenticityMatrix {
         self.items.len()
     }
 
+    /// Row index of a cuisine, if the matrix covers it.
+    pub fn index_of(&self, cuisine: Cuisine) -> Option<usize> {
+        self.cuisines.iter().position(|&c| c == cuisine)
+    }
+
+    fn row_of(&self, cuisine: Cuisine) -> &[f64] {
+        let idx = self
+            .index_of(cuisine)
+            .unwrap_or_else(|| panic!("cuisine {cuisine} not covered by this matrix"));
+        &self.relative[idx]
+    }
+
     /// The fingerprint vector of a cuisine (its relative-prevalence row).
+    ///
+    /// # Panics
+    /// If the matrix does not cover `cuisine` (see
+    /// [`AuthenticityMatrix::index_of`]).
     pub fn fingerprint(&self, cuisine: Cuisine) -> &[f64] {
-        &self.relative[cuisine.index()]
+        self.row_of(cuisine)
     }
 
     /// The `k` most-authentic (largest relative prevalence) items of a
     /// cuisine, as `(token, relative_prevalence)` descending.
     pub fn most_authentic(&self, cuisine: Cuisine, k: usize) -> Vec<(TokenId, f64)> {
-        let row = &self.relative[cuisine.index()];
+        let row = self.row_of(cuisine);
         let mut pairs: Vec<(TokenId, f64)> = self
             .items
             .iter()
@@ -129,7 +181,7 @@ impl AuthenticityMatrix {
 
     /// The `k` least-authentic (most conspicuously absent) items.
     pub fn least_authentic(&self, cuisine: Cuisine, k: usize) -> Vec<(TokenId, f64)> {
-        let row = &self.relative[cuisine.index()];
+        let row = self.row_of(cuisine);
         let mut pairs: Vec<(TokenId, f64)> = self
             .items
             .iter()
@@ -219,6 +271,35 @@ mod tests {
                 assert!(c <= p + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn over_all_cuisines_is_identical_to_unrestricted() {
+        let db = db();
+        let full = AuthenticityMatrix::ingredients(&db);
+        let over = AuthenticityMatrix::ingredients_over(&db, &Cuisine::ALL);
+        assert_eq!(full.items, over.items);
+        assert_eq!(full.prevalence, over.prevalence);
+        assert_eq!(full.relative, over.relative);
+        assert_eq!(
+            over.index_of(Cuisine::Japanese),
+            Some(Cuisine::Japanese.index())
+        );
+    }
+
+    #[test]
+    fn single_cuisine_matrix_has_finite_relative_prevalence() {
+        // One cuisine means no "other cuisines" to average over; relative
+        // prevalence must degrade to prevalence, never divide by zero.
+        let mut b = recipedb::store::RecipeDbBuilder::new();
+        let s = b.catalog_mut().intern_ingredient("salt");
+        b.add_recipe("r", Cuisine::UK, vec![s], vec![], vec![]);
+        let db = b.build().unwrap();
+        let m = AuthenticityMatrix::ingredients_over(&db, &[Cuisine::UK]);
+        assert_eq!(m.cuisines, vec![Cuisine::UK]);
+        assert!(m.relative.iter().flatten().all(|v| v.is_finite()));
+        assert_eq!(m.fingerprint(Cuisine::UK), m.prevalence[0].as_slice());
+        assert_eq!(m.index_of(Cuisine::Thai), None);
     }
 
     #[test]

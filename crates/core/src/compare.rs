@@ -50,7 +50,15 @@ pub struct HistoricalClaims {
 /// cuisine tree.
 pub fn historical_claims(tree: &CuisineTree) -> HistoricalClaims {
     let coph = tree.dendrogram.cophenetic();
-    let d = |a: Cuisine, b: Cuisine| coph.get(a.index(), b.index());
+    // Leaf indices come from the tree's own cuisine list (== the global
+    // index order only for full 26-cuisine trees).
+    let idx = |c: Cuisine| {
+        tree.cuisines
+            .iter()
+            .position(|&x| x == c)
+            .unwrap_or_else(|| panic!("historical claims need cuisine {c} in the tree"))
+    };
+    let d = |a: Cuisine, b: Cuisine| coph.get(idx(a), idx(b));
     let ca_fr = d(Cuisine::Canadian, Cuisine::French);
     let ca_us = d(Cuisine::Canadian, Cuisine::US);
     let in_na = d(Cuisine::IndianSubcontinent, Cuisine::NorthernAfrica);

@@ -10,10 +10,15 @@ use recipedb::Cuisine;
 /// Pairwise great-circle distances (km) between the 26 region centroids,
 /// in `Cuisine::index()` order.
 pub fn geographic_distances() -> CondensedMatrix {
-    CondensedMatrix::from_fn(Cuisine::COUNT, |i, j| {
-        let a = Cuisine::ALL[i].centroid();
-        let b = Cuisine::ALL[j].centroid();
-        haversine_km(a, b)
+    geographic_distances_over(&Cuisine::ALL)
+}
+
+/// Pairwise great-circle distances (km) between the centroids of an
+/// explicit cuisine list, in list order — for corpora covering only a
+/// subset of the 26 regions.
+pub fn geographic_distances_over(cuisines: &[Cuisine]) -> CondensedMatrix {
+    CondensedMatrix::from_fn(cuisines.len(), |i, j| {
+        haversine_km(cuisines[i].centroid(), cuisines[j].centroid())
     })
 }
 

@@ -124,6 +124,20 @@ pub fn mine_all_threads_observed(
     threads: usize,
     sink: &dyn crate::pipeline::SpanSink,
 ) -> Vec<CuisinePatterns> {
+    mine_cuisines_threads_observed(db, &Cuisine::ALL, min_support, threads, sink)
+}
+
+/// Mine an explicit cuisine list (results in list order) — the entry
+/// point for uploaded corpora that may cover only a subset of the 26
+/// cuisines. With `cuisines == Cuisine::ALL` this is exactly
+/// [`mine_all_threads_observed`].
+pub fn mine_cuisines_threads_observed(
+    db: &RecipeDb,
+    cuisines: &[Cuisine],
+    min_support: f64,
+    threads: usize,
+    sink: &dyn crate::pipeline::SpanSink,
+) -> Vec<CuisinePatterns> {
     let mine_one = |cuisine: Cuisine, inner: usize| {
         let (mined, _) =
             crate::pipeline::spanned(sink, &format!("mine/{}", cuisine.name()), || {
@@ -132,15 +146,12 @@ pub fn mine_all_threads_observed(
         mined
     };
     if threads <= 1 {
-        return Cuisine::ALL.iter().map(|&c| mine_one(c, 1)).collect();
+        return cuisines.iter().map(|&c| mine_one(c, 1)).collect();
     }
-    let costs: Vec<u64> = Cuisine::ALL
-        .iter()
-        .map(|&c| db.recipes_in(c) as u64)
-        .collect();
+    let costs: Vec<u64> = cuisines.iter().map(|&c| db.recipes_in(c) as u64).collect();
     let claim_order = par::descending_cost_order(&costs);
     par::map_claiming(threads, &claim_order, |i| {
-        let cuisine = Cuisine::ALL[i];
+        let cuisine = cuisines[i];
         let inner = if db.recipes_in(cuisine) >= LARGE_CUISINE_RECIPES {
             threads.min(MAX_INNER_MINE_THREADS)
         } else {

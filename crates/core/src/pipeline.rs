@@ -13,7 +13,7 @@
 //! knob, never an input to any result (see DESIGN.md §"Determinism under
 //! parallelism").
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use clustering::condensed::CondensedMatrix;
@@ -177,40 +177,80 @@ impl DistanceCaches {
 }
 
 /// A cuisine dendrogram plus the distance matrix it was grown from.
+///
+/// `cuisines` names the leaves: leaf index `i` of the dendrogram is
+/// `cuisines[i]`. The paper's trees cover all 26 cuisines; trees built
+/// from an uploaded corpus cover whatever subset is present.
 #[derive(Debug, Clone)]
 pub struct CuisineTree {
     /// What the tree was built from (for reports).
     pub description: String,
+    /// The leaf cuisines, in distance-matrix index order.
+    pub cuisines: Vec<Cuisine>,
     /// The pairwise cuisine distances.
     pub distances: CondensedMatrix,
-    /// The agglomerative merge tree over the 26 cuisines.
+    /// The agglomerative merge tree over the cuisines.
     pub dendrogram: Dendrogram,
 }
 
 impl CuisineTree {
-    /// Grow a tree from a distance matrix (public for the extension
-    /// experiments; the atlas methods below are the primary constructors).
+    /// Grow a tree over all 26 cuisines from a distance matrix (public
+    /// for the extension experiments; the atlas methods below are the
+    /// primary constructors).
     pub fn from_distances(
         description: String,
         distances: CondensedMatrix,
         method: LinkageMethod,
     ) -> Self {
-        Self::grow(description, distances, method)
+        Self::grow(description, Cuisine::ALL.to_vec(), distances, method)
     }
 
-    fn grow(description: String, distances: CondensedMatrix, method: LinkageMethod) -> Self {
+    /// [`CuisineTree::from_distances`] with an explicit leaf-cuisine list
+    /// matching the distance matrix.
+    pub fn from_distances_over(
+        description: String,
+        cuisines: Vec<Cuisine>,
+        distances: CondensedMatrix,
+        method: LinkageMethod,
+    ) -> Self {
+        Self::grow(description, cuisines, distances, method)
+    }
+
+    fn grow(
+        description: String,
+        cuisines: Vec<Cuisine>,
+        distances: CondensedMatrix,
+        method: LinkageMethod,
+    ) -> Self {
+        assert_eq!(
+            cuisines.len(),
+            distances.len(),
+            "leaf list must match the distance matrix"
+        );
         let merges = linkage(&distances, method);
         let dendrogram = Dendrogram::from_merges(distances.len(), &merges);
         CuisineTree {
             description,
+            cuisines,
             distances,
             dendrogram,
         }
     }
 
     /// Cophenetic (tree) distance between two cuisines.
+    ///
+    /// # Panics
+    /// If either cuisine is not a leaf of this tree.
     pub fn cophenetic_between(&self, a: Cuisine, b: Cuisine) -> f64 {
-        self.dendrogram.cophenetic().get(a.index(), b.index())
+        let coph = self.dendrogram.cophenetic();
+        coph.get(self.leaf_index(a), self.leaf_index(b))
+    }
+
+    fn leaf_index(&self, cuisine: Cuisine) -> usize {
+        self.cuisines
+            .iter()
+            .position(|&c| c == cuisine)
+            .unwrap_or_else(|| panic!("cuisine {cuisine} is not a leaf of this tree"))
     }
 
     /// The cuisines in dendrogram display order.
@@ -218,7 +258,7 @@ impl CuisineTree {
         self.dendrogram
             .leaf_order()
             .into_iter()
-            .map(|i| Cuisine::ALL[i])
+            .map(|i| self.cuisines[i])
             .collect()
     }
 }
@@ -247,9 +287,16 @@ pub struct Table1 {
 
 /// The built atlas: corpus + mined patterns + feature space, with tree
 /// constructors for every figure.
+///
+/// `cuisines` is the atlas's *active cuisine list*: every per-cuisine
+/// artifact (patterns, feature rows, distance-matrix indices, tree
+/// leaves) is in its order. A generated corpus activates all 26 cuisines
+/// (the paper's setting); an atlas assembled from a supplied corpus via
+/// [`CuisineAtlas::from_shared`] activates exactly the cuisines present.
 pub struct CuisineAtlas {
     config: AtlasConfig,
-    db: RecipeDb,
+    db: Arc<RecipeDb>,
+    cuisines: Vec<Cuisine>,
     patterns: Vec<CuisinePatterns>,
     features: PatternFeatures,
     caches: DistanceCaches,
@@ -270,25 +317,55 @@ impl CuisineAtlas {
         let (db, generate_ms) = spanned(sink, "stage/generate", || {
             CorpusGenerator::new(config.corpus.clone()).generate_with_threads(threads)
         });
-        Self::assemble_with_sink(db, config, generate_ms, sink)
+        Self::assemble_with_sink(
+            Arc::new(db),
+            Cuisine::ALL.to_vec(),
+            config,
+            generate_ms,
+            sink,
+        )
     }
 
     /// Build the atlas over an existing corpus (e.g. loaded from JSON).
     pub fn from_db(db: RecipeDb, config: &AtlasConfig) -> Self {
-        Self::assemble_with_sink(db, config, 0.0, &NullSink)
+        Self::from_shared(Arc::new(db), config)
+    }
+
+    /// Build the atlas over a shared corpus without cloning it — the
+    /// server path, where one uploaded corpus backs many atlases. Only
+    /// the cuisines actually present in the corpus are activated.
+    pub fn from_shared(db: Arc<RecipeDb>, config: &AtlasConfig) -> Self {
+        Self::from_shared_with_sink(db, config, &NullSink)
+    }
+
+    /// [`CuisineAtlas::from_shared`], reporting stage spans to `sink`.
+    pub fn from_shared_with_sink(
+        db: Arc<RecipeDb>,
+        config: &AtlasConfig,
+        sink: &dyn SpanSink,
+    ) -> Self {
+        let cuisines: Vec<Cuisine> = db.cuisines().collect();
+        Self::assemble_with_sink(db, cuisines, config, 0.0, sink)
     }
 
     /// Mine, encode, and warm the distance caches, recording per-stage
     /// wall-clock timings both in [`BuildTimings`] and through `sink`.
     fn assemble_with_sink(
-        db: RecipeDb,
+        db: Arc<RecipeDb>,
+        cuisines: Vec<Cuisine>,
         config: &AtlasConfig,
         generate_ms: f64,
         sink: &dyn SpanSink,
     ) -> Self {
         let threads = config.effective_build_threads();
         let (patterns, mine_ms) = spanned(sink, "stage/mine", || {
-            patterns::mine_all_threads_observed(&db, config.min_support, threads, sink)
+            patterns::mine_cuisines_threads_observed(
+                &db,
+                &cuisines,
+                config.min_support,
+                threads,
+                sink,
+            )
         });
         let (features, features_ms) = spanned(sink, "stage/features", || {
             PatternFeatures::build(&db, &patterns)
@@ -296,6 +373,7 @@ impl CuisineAtlas {
         let mut atlas = CuisineAtlas {
             config: config.clone(),
             db,
+            cuisines,
             patterns,
             features,
             caches: DistanceCaches::default(),
@@ -329,6 +407,12 @@ impl CuisineAtlas {
     /// The corpus.
     pub fn db(&self) -> &RecipeDb {
         &self.db
+    }
+
+    /// The active cuisines of this atlas, in artifact-index order (all
+    /// 26 for generated corpora; the subset present for supplied ones).
+    pub fn cuisines(&self) -> &[Cuisine] {
+        &self.cuisines
     }
 
     /// The configuration.
@@ -379,6 +463,7 @@ impl CuisineAtlas {
         let description = format!("patterns/{metric}/{}", self.config.linkage);
         CuisineTree::grow(
             description,
+            self.cuisines.clone(),
             self.pattern_distances(metric),
             self.config.linkage,
         )
@@ -388,12 +473,14 @@ impl CuisineAtlas {
     fn pattern_distances(&self, metric: Metric) -> CondensedMatrix {
         let threads = self.config.effective_build_threads();
         let compute = || match metric {
-            Metric::Jaccard => CondensedMatrix::par_from_fn(Cuisine::COUNT, threads, |i, j| {
-                jaccard_sets(
-                    &self.features.pattern_sets[i],
-                    &self.features.pattern_sets[j],
-                )
-            }),
+            Metric::Jaccard => {
+                CondensedMatrix::par_from_fn(self.cuisines.len(), threads, |i, j| {
+                    jaccard_sets(
+                        &self.features.pattern_sets[i],
+                        &self.features.pattern_sets[j],
+                    )
+                })
+            }
             _ => CondensedMatrix::par_pdist(&self.features.binary, metric, threads),
         };
         match self.caches.pattern_slot(metric) {
@@ -407,6 +494,7 @@ impl CuisineAtlas {
     pub fn authenticity_tree(&self) -> CuisineTree {
         CuisineTree::grow(
             format!("authenticity/euclidean/{}", self.config.linkage),
+            self.cuisines.clone(),
             self.authenticity_distances(),
             self.config.linkage,
         )
@@ -428,7 +516,7 @@ impl CuisineAtlas {
     fn cached_authenticity(&self) -> &AuthenticityMatrix {
         self.caches
             .authenticity
-            .get_or_init(|| AuthenticityMatrix::ingredients(&self.db))
+            .get_or_init(|| AuthenticityMatrix::ingredients_over(&self.db, &self.cuisines))
     }
 
     /// The authenticity matrix itself (fingerprint inspection).
@@ -436,11 +524,13 @@ impl CuisineAtlas {
         self.cached_authenticity().clone()
     }
 
-    /// **Figure 6** — the geographic validation tree.
+    /// **Figure 6** — the geographic validation tree (over the active
+    /// cuisines).
     pub fn geographic_tree(&self) -> CuisineTree {
-        let distances = crate::geo::geographic_distances();
+        let distances = crate::geo::geographic_distances_over(&self.cuisines);
         CuisineTree::grow(
             format!("geography/haversine/{}", self.config.linkage),
+            self.cuisines.clone(),
             distances,
             self.config.linkage,
         )

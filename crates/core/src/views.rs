@@ -15,11 +15,6 @@ use crate::authenticity::AuthenticityMatrix;
 use crate::compare::{GeoAgreement, HistoricalClaims};
 use crate::pipeline::{CuisineTree, Table1, Table1Row};
 
-/// Cuisine display names in canonical (Table I) order.
-fn cuisine_names() -> Vec<String> {
-    Cuisine::ALL.iter().map(|c| c.name().to_string()).collect()
-}
-
 /// One agglomerative merge, scipy `Z`-matrix semantics: `a` and `b` are
 /// node ids where ids `0..n_leaves` are leaves and `n_leaves + t` is the
 /// cluster created by merge `t`.
@@ -73,6 +68,9 @@ impl TreeView {
                 Node::Leaf { .. } => unreachable!("arena ids >= n_leaves are merges"),
             })
             .collect();
+        // Labels must match the tree's own leaf list — a subset-corpus
+        // tree has fewer than 26 leaves.
+        let labels: Vec<String> = tree.cuisines.iter().map(|c| c.name().to_string()).collect();
         TreeView {
             description: tree.description.clone(),
             n_leaves: n,
@@ -81,7 +79,7 @@ impl TreeView {
                 .iter()
                 .map(|c| c.name().to_string())
                 .collect(),
-            newick: d.to_newick(&cuisine_names()),
+            newick: d.to_newick(&labels),
             merges,
             max_height: d.max_height(),
         }

@@ -1,0 +1,315 @@
+//! Content digests for corpora.
+//!
+//! A corpus is identified by the SHA-256 of a *canonical byte stream* of
+//! its semantic content — catalog names in id order, recipes in id order
+//! with their item ids — rather than of any particular JSON encoding.
+//! Two corpora that differ only in serialization incidentals (whitespace,
+//! field order of a hand-written snapshot) therefore share a digest, and
+//! the digest is stable across serialize → deserialize round trips. The
+//! server uses it as the corpus id in its registry and cache key.
+//!
+//! SHA-256 is implemented here directly from FIPS 180-4 (pure `std`, no
+//! dependencies); the test vectors below pin it to the published values.
+
+use crate::store::RecipeDb;
+
+/// Streaming SHA-256 (FIPS 180-4).
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Unprocessed tail of the message, always < 64 bytes after update.
+    buffer: Vec<u8>,
+    /// Total message length in bytes.
+    length: u64,
+}
+
+/// Initial hash values: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: Vec::with_capacity(64),
+            length: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        self.buffer.extend_from_slice(data);
+        let blocks = self.buffer.len() / 64;
+        for i in 0..blocks {
+            let block: &[u8; 64] = self.buffer[i * 64..(i + 1) * 64].try_into().unwrap();
+            compress(&mut self.state, block);
+        }
+        self.buffer.drain(..blocks * 64);
+    }
+
+    /// Finish: pad per FIPS 180-4 and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length.wrapping_mul(8);
+        self.buffer.push(0x80);
+        while self.buffer.len() % 64 != 56 {
+            self.buffer.push(0);
+        }
+        self.buffer.extend_from_slice(&bit_len.to_be_bytes());
+        for chunk in self.buffer.chunks_exact(64) {
+            let block: &[u8; 64] = chunk.try_into().unwrap();
+            compress(&mut self.state, block);
+        }
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest of `data` as lowercase hex.
+    pub fn hex_digest(data: &[u8]) -> String {
+        let mut h = Sha256::new();
+        h.update(data);
+        to_hex(&h.finalize())
+    }
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    s
+}
+
+/// Version tag mixed into every corpus digest so the canonical encoding
+/// can evolve without silently colliding with older digests.
+const DIGEST_DOMAIN: &[u8] = b"recipedb-corpus-v1\0";
+
+/// Content digest of a corpus: lowercase-hex SHA-256 over the canonical
+/// byte stream of its catalogs and recipes.
+///
+/// The stream is length-prefixed throughout (no delimiter ambiguity):
+/// catalog names per kind in id order, then recipes in id order as
+/// `(name, cuisine index, ingredient ids, process ids, utensil ids)`.
+/// Recipe ids and `by_cuisine` indices are *not* hashed — both are
+/// derivable and validated, so hashing them would add nothing.
+pub fn corpus_digest(db: &RecipeDb) -> String {
+    let mut h = Sha256::new();
+    h.update(DIGEST_DOMAIN);
+
+    let catalog = db.catalog();
+    for names in [
+        catalog.ingredients().map(|(_, n)| n).collect::<Vec<_>>(),
+        catalog.processes().map(|(_, n)| n).collect::<Vec<_>>(),
+        catalog.utensils().map(|(_, n)| n).collect::<Vec<_>>(),
+    ] {
+        h.update(&(names.len() as u64).to_le_bytes());
+        for name in names {
+            h.update(&(name.len() as u64).to_le_bytes());
+            h.update(name.as_bytes());
+        }
+    }
+
+    h.update(&(db.recipe_count() as u64).to_le_bytes());
+    for r in db.recipes() {
+        h.update(&(r.name.len() as u64).to_le_bytes());
+        h.update(r.name.as_bytes());
+        h.update(&(r.cuisine.index() as u32).to_le_bytes());
+        h.update(&(r.ingredients.len() as u64).to_le_bytes());
+        for ing in &r.ingredients {
+            h.update(&ing.0.to_le_bytes());
+        }
+        h.update(&(r.processes.len() as u64).to_le_bytes());
+        for p in &r.processes {
+            h.update(&p.0.to_le_bytes());
+        }
+        h.update(&(r.utensils.len() as u64).to_le_bytes());
+        for u in &r.utensils {
+            h.update(&u.0.to_le_bytes());
+        }
+    }
+
+    to_hex(&h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuisine::Cuisine;
+    use crate::store::RecipeDbBuilder;
+
+    // FIPS 180-4 / NIST CAVS published vectors.
+    #[test]
+    fn sha256_empty_message() {
+        assert_eq!(
+            Sha256::hex_digest(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            Sha256::hex_digest(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            Sha256::hex_digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a_streaming() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha256::hex_digest(&data);
+        for split in [0, 1, 63, 64, 65, 128, 256] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(to_hex(&h.finalize()), oneshot, "split at {split}");
+        }
+    }
+
+    fn small_db() -> RecipeDb {
+        let mut b = RecipeDbBuilder::new();
+        let soy = b.catalog_mut().intern_ingredient("soy sauce");
+        let rice = b.catalog_mut().intern_ingredient("rice");
+        let heat = b.catalog_mut().intern_process("heat");
+        let wok = b.catalog_mut().intern_utensil("wok");
+        b.add_recipe(
+            "r0",
+            Cuisine::Japanese,
+            vec![soy, rice],
+            vec![heat],
+            vec![wok],
+        );
+        b.add_recipe("r1", Cuisine::Thai, vec![rice], vec![], vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn corpus_digest_is_stable_across_json_roundtrip() {
+        let db = small_db();
+        let json = crate::io::to_json(&db).unwrap();
+        let back = crate::io::from_json(&json).unwrap();
+        assert_eq!(corpus_digest(&db), corpus_digest(&back));
+        assert_eq!(corpus_digest(&db).len(), 64, "hex sha256");
+    }
+
+    #[test]
+    fn corpus_digest_distinguishes_content() {
+        let a = small_db();
+        let mut b = RecipeDbBuilder::new();
+        let soy = b.catalog_mut().intern_ingredient("soy sauce");
+        let rice = b.catalog_mut().intern_ingredient("rice");
+        let heat = b.catalog_mut().intern_process("heat");
+        let wok = b.catalog_mut().intern_utensil("wok");
+        b.add_recipe(
+            "r0",
+            Cuisine::Japanese,
+            vec![soy, rice],
+            vec![heat],
+            vec![wok],
+        );
+        // Same items as small_db's r1, different cuisine.
+        b.add_recipe("r1", Cuisine::Korean, vec![rice], vec![], vec![]);
+        let changed = b.build().unwrap();
+        assert_ne!(corpus_digest(&a), corpus_digest(&changed));
+    }
+
+    #[test]
+    fn corpus_digest_of_empty_corpus_is_defined() {
+        let empty = RecipeDbBuilder::new().build().unwrap();
+        assert_eq!(corpus_digest(&empty).len(), 64);
+    }
+}

@@ -20,6 +20,17 @@ pub enum RecipeDbError {
         /// Id found on the recipe.
         found: u32,
     },
+    /// The per-cuisine index disagrees with the recipe list (wrong
+    /// length, out-of-range id, cuisine mismatch, or a recipe indexed
+    /// zero or multiple times). Only externally-supplied snapshots can
+    /// trip this — the builder derives the index from the recipes.
+    CorruptIndex {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// The corpus contains no recipes at all; rejected on upload because
+    /// every downstream artifact is degenerate over an empty store.
+    EmptyCorpus,
     /// Underlying IO failure.
     Io(std::io::Error),
     /// JSON (de)serialization failure.
@@ -38,6 +49,10 @@ impl fmt::Display for RecipeDbError {
                     "recipe id {found} does not match its position {expected}"
                 )
             }
+            RecipeDbError::CorruptIndex { detail } => {
+                write!(f, "corrupt cuisine index: {detail}")
+            }
+            RecipeDbError::EmptyCorpus => write!(f, "corpus contains no recipes"),
             RecipeDbError::Io(e) => write!(f, "io error: {e}"),
             RecipeDbError::Json(e) => write!(f, "json error: {e}"),
         }

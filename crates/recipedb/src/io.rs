@@ -195,6 +195,17 @@ mod tests {
     }
 
     #[test]
+    fn json_with_corrupt_cuisine_index_fails_validation() {
+        let db = tiny_db();
+        let mut v: serde_json::Value = serde_json::from_str(&to_json(&db).unwrap()).unwrap();
+        // Empty every index list: the recipes exist but are indexed
+        // nowhere, which per-cuisine queries would silently miss.
+        v["by_cuisine"] = serde_json::Value::Array(vec![serde_json::Value::Array(Vec::new()); 26]);
+        let err = from_json(&v.to_string());
+        assert!(err.is_err(), "inconsistent cuisine index must be caught");
+    }
+
+    #[test]
     fn file_roundtrip() {
         let db = tiny_db();
         let dir = std::env::temp_dir().join("recipedb-io-test");

@@ -45,6 +45,7 @@
 pub mod alias;
 pub mod catalog;
 pub mod cuisine;
+pub mod digest;
 pub mod error;
 pub mod flavor;
 pub mod generator;
@@ -56,6 +57,7 @@ pub mod store;
 
 pub use catalog::{Catalog, TokenId};
 pub use cuisine::Cuisine;
+pub use digest::corpus_digest;
 pub use error::RecipeDbError;
 pub use model::{IngredientId, Item, ItemKind, ProcessId, Recipe, RecipeId, UtensilId};
 pub use stats::CorpusStats;

@@ -146,8 +146,9 @@ impl RecipeDb {
     }
 
     /// Validate internal invariants (dense ids, in-range references,
-    /// normalized item lists). The builder and deserializer enforce this;
-    /// exposed publicly for defensive use.
+    /// normalized item lists, and a consistent per-cuisine index). The
+    /// builder and deserializer enforce this; exposed publicly for
+    /// defensive use against externally-supplied snapshots.
     pub fn validate(&self) -> Result<(), RecipeDbError> {
         for (i, r) in self.recipes.iter().enumerate() {
             if r.id.0 as usize != i {
@@ -164,6 +165,72 @@ impl RecipeDb {
                     });
                 }
             }
+        }
+        self.validate_index()
+    }
+
+    /// Check that `by_cuisine` is exactly the index the builder would
+    /// derive: one list per cuisine, every listed id in range and of that
+    /// cuisine, and every recipe indexed exactly once. An uploaded
+    /// snapshot with a hand-edited index (e.g. a cuisine whose recipes
+    /// exist but whose index list is empty) would otherwise silently
+    /// corrupt every per-cuisine query.
+    fn validate_index(&self) -> Result<(), RecipeDbError> {
+        if self.by_cuisine.len() != Cuisine::COUNT {
+            return Err(RecipeDbError::CorruptIndex {
+                detail: format!(
+                    "expected {} cuisine lists, found {}",
+                    Cuisine::COUNT,
+                    self.by_cuisine.len()
+                ),
+            });
+        }
+        let mut seen = vec![false; self.recipes.len()];
+        for (c, ids) in self.by_cuisine.iter().enumerate() {
+            let cuisine = Cuisine::ALL[c];
+            for &id in ids {
+                let Some(r) = self.recipes.get(id.0 as usize) else {
+                    return Err(RecipeDbError::CorruptIndex {
+                        detail: format!(
+                            "cuisine {} indexes unknown recipe {}",
+                            cuisine.name(),
+                            id.0
+                        ),
+                    });
+                };
+                if r.cuisine != cuisine {
+                    return Err(RecipeDbError::CorruptIndex {
+                        detail: format!(
+                            "recipe {} is {} but indexed under {}",
+                            id.0,
+                            r.cuisine.name(),
+                            cuisine.name()
+                        ),
+                    });
+                }
+                if std::mem::replace(&mut seen[id.0 as usize], true) {
+                    return Err(RecipeDbError::CorruptIndex {
+                        detail: format!("recipe {} indexed more than once", id.0),
+                    });
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(RecipeDbError::CorruptIndex {
+                detail: format!("recipe {missing} missing from the cuisine index"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validation for externally-uploaded corpora: everything
+    /// [`RecipeDb::validate`] checks, plus a non-empty store — an empty
+    /// corpus makes every downstream artifact degenerate, so uploads
+    /// reject it outright.
+    pub fn validate_upload(&self) -> Result<(), RecipeDbError> {
+        self.validate()?;
+        if self.recipes.is_empty() {
+            return Err(RecipeDbError::EmptyCorpus);
         }
         Ok(())
     }
@@ -343,5 +410,61 @@ mod tests {
     #[test]
     fn validate_accepts_built_db() {
         assert!(tiny_db().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_cuisine_index() {
+        // Empty a cuisine's index list while its recipes still exist.
+        let mut db = tiny_db();
+        db.by_cuisine[Cuisine::Thai.index()].clear();
+        assert!(matches!(
+            db.validate(),
+            Err(RecipeDbError::CorruptIndex { .. })
+        ));
+
+        // Index a recipe under the wrong cuisine.
+        let mut db = tiny_db();
+        let id = db.by_cuisine[Cuisine::Thai.index()].pop().unwrap();
+        db.by_cuisine[Cuisine::French.index()].push(id);
+        assert!(matches!(
+            db.validate(),
+            Err(RecipeDbError::CorruptIndex { .. })
+        ));
+
+        // Index the same recipe twice.
+        let mut db = tiny_db();
+        let id = db.by_cuisine[Cuisine::Thai.index()][0];
+        db.by_cuisine[Cuisine::Thai.index()].push(id);
+        assert!(matches!(
+            db.validate(),
+            Err(RecipeDbError::CorruptIndex { .. })
+        ));
+
+        // Wrong number of cuisine lists.
+        let mut db = tiny_db();
+        db.by_cuisine.pop();
+        assert!(matches!(
+            db.validate(),
+            Err(RecipeDbError::CorruptIndex { .. })
+        ));
+
+        // Out-of-range recipe id in the index.
+        let mut db = tiny_db();
+        db.by_cuisine[Cuisine::Thai.index()].push(RecipeId(99));
+        assert!(matches!(
+            db.validate(),
+            Err(RecipeDbError::CorruptIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_upload_rejects_empty_corpus() {
+        let empty = RecipeDbBuilder::new().build().expect("empty db builds");
+        assert!(empty.validate().is_ok(), "plain validate tolerates empty");
+        assert!(matches!(
+            empty.validate_upload(),
+            Err(RecipeDbError::EmptyCorpus)
+        ));
+        assert!(tiny_db().validate_upload().is_ok());
     }
 }

@@ -60,6 +60,16 @@ proptest! {
     }
 
     #[test]
+    fn json_roundtrip_preserves_corpus_digest(db in arb_db()) {
+        // The digest is the server-side identity of an uploaded corpus:
+        // serializing and re-parsing must never change it, or a
+        // re-upload of the same corpus would register a second id.
+        let digest = recipedb::corpus_digest(&db);
+        let back = io::from_json(&io::to_json(&db).unwrap()).unwrap();
+        prop_assert_eq!(recipedb::corpus_digest(&back), digest);
+    }
+
+    #[test]
     fn transactions_match_recipe_contents(db in arb_db()) {
         for &c in &Cuisine::ALL {
             let txs = db.transactions_for(c);

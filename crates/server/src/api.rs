@@ -3,9 +3,12 @@
 //!
 //! All atlas-backed endpoints accept the same query parameters —
 //! `seed`, `scale`, `linkage`, `min_support` — which select (or build)
-//! an atlas in the cache. Identical parameters always serve identical
-//! bytes; concurrent cold requests for the same parameters trigger
-//! exactly one build.
+//! an atlas in the cache, plus `corpus=<digest>` to run the same
+//! pipeline over a corpus previously uploaded via `POST /corpus`
+//! instead of the synthetic generator. Identical parameters always
+//! serve identical bytes; concurrent cold requests for the same
+//! parameters trigger exactly one build. `POST /batch` fetches several
+//! artifacts of one atlas in a single round trip.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -16,11 +19,12 @@ use clustering::Metric;
 use cuisine_atlas::compare::{geo_agreement, historical_claims};
 use cuisine_atlas::pipeline::{AtlasConfig, BuildTimings, CuisineAtlas};
 use cuisine_atlas::views::{AgreementView, ElbowView, FingerprintView, Table1View, TreeView};
-use recipedb::Cuisine;
+use recipedb::{Cuisine, RecipeDbError};
 use serde::Serialize;
 use serde_json::json;
 
 use crate::cache::{AtlasCache, CacheKey};
+use crate::corpus::{CorpusInfo, CorpusRegistry};
 use crate::error::ApiError;
 use crate::http::{Request, Response};
 use crate::metrics::MetricsRegistry;
@@ -37,13 +41,21 @@ const MAX_FINGERPRINT_K: usize = 100;
 /// `/health` stays O(1) however long the server runs, deep enough that
 /// a build evicted from the LRU cache and rebuilt is still visible.
 const RECENT_BUILDS: usize = 8;
+/// Largest number of artifacts one `POST /batch` may request.
+const MAX_BATCH_ARTIFACTS: usize = 32;
+/// Uploaded corpora kept when [`AppState::new`] is used directly
+/// (mirrors `ServerConfig::default().max_corpora`).
+const DEFAULT_MAX_CORPORA: usize = 8;
+/// Digest-prefix length used as the per-corpus metrics label.
+const CORPUS_LABEL_LEN: usize = 12;
 
 /// Shared state behind every handler: the atlas cache, the
-/// single-flight table guarding cold builds, and the metrics registry
-/// every request reports into.
+/// single-flight table guarding cold builds, the uploaded-corpus
+/// registry, and the metrics registry every request reports into.
 pub struct AppState {
     cache: AtlasCache<CuisineAtlas>,
     flight: SingleFlight<CacheKey, CuisineAtlas>,
+    corpora: CorpusRegistry,
     builds: AtomicUsize,
     workers: usize,
     build_threads: usize,
@@ -56,9 +68,20 @@ impl AppState {
     /// `workers` in `/health` and building cold atlases over
     /// `build_threads` workers (`0` = all available parallelism).
     pub fn new(cache_capacity: usize, workers: usize, build_threads: usize) -> Self {
+        Self::with_limits(cache_capacity, workers, build_threads, DEFAULT_MAX_CORPORA)
+    }
+
+    /// [`AppState::new`] with an explicit bound on registered corpora.
+    pub fn with_limits(
+        cache_capacity: usize,
+        workers: usize,
+        build_threads: usize,
+        max_corpora: usize,
+    ) -> Self {
         AppState {
             cache: AtlasCache::new(cache_capacity),
             flight: SingleFlight::new(),
+            corpora: CorpusRegistry::new(max_corpora),
             builds: AtomicUsize::new(0),
             workers,
             build_threads,
@@ -96,13 +119,54 @@ impl AppState {
         &self.metrics
     }
 
-    /// The atlas for `config` — cached, or built once even under
-    /// concurrent identical requests. The server's `build_threads`
-    /// setting overrides the config's: thread count never changes the
-    /// built atlas (see `cuisine_atlas::pipeline`), only its wall-clock
-    /// cost, so it is deliberately not part of the cache key.
+    /// The uploaded-corpus registry.
+    pub fn corpora(&self) -> &CorpusRegistry {
+        &self.corpora
+    }
+
+    /// Lifetime `(hits, misses)` of the atlas cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// The atlas for `config` over the implicit (generator-backed)
+    /// corpus — cached, or built once even under concurrent identical
+    /// requests.
     pub fn atlas(&self, config: &AtlasConfig) -> Arc<CuisineAtlas> {
-        let key = CacheKey::from_config(config);
+        self.atlas_for(None, config)
+    }
+
+    /// The corpus selected by a request's `corpus` query parameter:
+    /// `None` for the implicit synthetic corpus, the registered upload
+    /// for a known digest, and a 404 for an unknown one.
+    pub fn resolve_corpus(&self, request: &Request) -> Result<Option<Arc<CorpusInfo>>, ApiError> {
+        match request.query_param("corpus") {
+            Some(digest) => self.corpora.get(digest).map(Some).ok_or_else(|| {
+                ApiError::not_found(format!(
+                    "unknown corpus {digest:?}; upload it via POST /corpus first"
+                ))
+            }),
+            None => Ok(None),
+        }
+    }
+
+    /// The atlas for `config` over an explicit corpus (`None` = the
+    /// synthetic generator) — cached, or built once even under
+    /// concurrent identical requests. Uploaded and generated corpora
+    /// share one cache and one single-flight table; their keys differ
+    /// by corpus digest. The server's `build_threads` setting overrides
+    /// the config's: thread count never changes the built atlas (see
+    /// `cuisine_atlas::pipeline`), only its wall-clock cost, so it is
+    /// deliberately not part of the cache key.
+    pub fn atlas_for(
+        &self,
+        corpus: Option<&Arc<CorpusInfo>>,
+        config: &AtlasConfig,
+    ) -> Arc<CuisineAtlas> {
+        let key = match corpus {
+            Some(info) => CacheKey::for_corpus(&info.digest, config),
+            None => CacheKey::from_config(config),
+        };
         if let Some(atlas) = self.cache.get(&key) {
             self.metrics.record_cache_hit();
             return atlas;
@@ -111,10 +175,19 @@ impl AppState {
         let (atlas, led) = self.flight.work_flagged(&key, || {
             self.builds.fetch_add(1, Ordering::SeqCst);
             self.metrics.record_build();
-            let built = CuisineAtlas::build_with_sink(
-                &config.clone().with_build_threads(self.build_threads),
-                &self.metrics,
-            );
+            self.metrics.record_build_for_corpus(&match corpus {
+                Some(info) => corpus_label(&info.digest),
+                None => "synthetic".to_string(),
+            });
+            let build_config = config.clone().with_build_threads(self.build_threads);
+            let built = match corpus {
+                Some(info) => CuisineAtlas::from_shared_with_sink(
+                    Arc::clone(&info.db),
+                    &build_config,
+                    &self.metrics,
+                ),
+                None => CuisineAtlas::build_with_sink(&build_config, &self.metrics),
+            };
             let mut recent = self.recent_timings.write().unwrap();
             if recent.len() == RECENT_BUILDS {
                 recent.pop_front();
@@ -128,6 +201,11 @@ impl AppState {
         self.cache.insert(key, Arc::clone(&atlas));
         atlas
     }
+}
+
+/// The bounded metrics label of an uploaded corpus: a digest prefix.
+fn corpus_label(digest: &str) -> String {
+    digest.chars().take(CORPUS_LABEL_LEN).collect()
 }
 
 /// Parse the shared atlas-selection query parameters.
@@ -192,16 +270,23 @@ fn metric_from_name(name: &str) -> Result<Metric, ApiError> {
         })
 }
 
+fn json_body<T: Serialize>(view: &T) -> Result<String, ApiError> {
+    serde_json::to_string(view)
+        .map_err(|e| ApiError::internal(format!("serialization failed: {e}")))
+}
+
 fn ok_json<T: Serialize>(view: &T) -> Result<Response, ApiError> {
-    let body = serde_json::to_string(view)
-        .map_err(|e| ApiError::internal(format!("serialization failed: {e}")))?;
-    Ok(Response::json(200, body))
+    Ok(Response::json(200, json_body(view)?))
+}
+
+/// Render an [`ApiError`] as its JSON body string.
+fn error_body(err: &ApiError) -> String {
+    json!({ "error": (err.message.as_str()), "status": (err.status) }).to_string()
 }
 
 /// Render an [`ApiError`] as its JSON response.
 pub fn error_response(err: &ApiError) -> Response {
-    let body = json!({ "error": (err.message.as_str()), "status": (err.status) });
-    Response::json(err.status, body.to_string())
+    Response::json(err.status, error_body(err))
 }
 
 /// Build the full routing table.
@@ -217,6 +302,125 @@ pub fn router() -> Router<AppState> {
         .get("/fingerprint/:cuisine", fingerprint)
         .get("/elbow", elbow)
         .get("/metrics", metrics)
+        .post("/corpus", upload_corpus)
+        .post("/batch", batch)
+}
+
+// ---------------------------------------------------------------------
+// Artifact bodies.
+//
+// Every artifact an endpoint can serve is produced by exactly one of
+// these functions, shared between the GET handlers and `POST /batch` —
+// so a batch result is byte-identical to the individual endpoint's
+// response by construction, and small-corpus guards apply uniformly.
+// ---------------------------------------------------------------------
+
+/// Artifacts that cluster cuisines need at least two of them; fewer is
+/// a well-formed corpus the pipeline cannot run on — 422, not a panic.
+fn require_clusterable(atlas: &CuisineAtlas) -> Result<(), ApiError> {
+    let n = atlas.cuisines().len();
+    if n < 2 {
+        return Err(ApiError::unprocessable(format!(
+            "corpus covers {n} cuisine(s); hierarchical clustering needs at least 2"
+        )));
+    }
+    Ok(())
+}
+
+fn table1_body(atlas: &CuisineAtlas) -> Result<String, ApiError> {
+    json_body(&Table1View::from_table(&atlas.table1()))
+}
+
+fn pattern_tree_body(atlas: &CuisineAtlas, metric: Metric) -> Result<String, ApiError> {
+    require_clusterable(atlas)?;
+    json_body(&TreeView::from_tree(&atlas.pattern_tree(metric)))
+}
+
+fn authenticity_tree_body(atlas: &CuisineAtlas) -> Result<String, ApiError> {
+    require_clusterable(atlas)?;
+    json_body(&TreeView::from_tree(&atlas.authenticity_tree()))
+}
+
+fn geo_tree_body(atlas: &CuisineAtlas) -> Result<String, ApiError> {
+    require_clusterable(atlas)?;
+    json_body(&TreeView::from_tree(&atlas.geographic_tree()))
+}
+
+fn compare_body(atlas: &CuisineAtlas) -> Result<String, ApiError> {
+    // The historical-claims check references specific cuisines
+    // (Canada, France, India, ...), so it only makes sense over the
+    // full 26-region universe.
+    let n = atlas.cuisines().len();
+    if n != Cuisine::COUNT {
+        return Err(ApiError::unprocessable(format!(
+            "corpus covers {n} of {} cuisines; /compare needs all of them",
+            Cuisine::COUNT
+        )));
+    }
+    let geo = atlas.geographic_tree();
+    let trees = [
+        atlas.pattern_tree(Metric::Euclidean),
+        atlas.pattern_tree(Metric::Cosine),
+        atlas.pattern_tree(Metric::Jaccard),
+        atlas.authenticity_tree(),
+    ];
+    let views: Vec<AgreementView> = trees
+        .iter()
+        .map(|tree| AgreementView::from_parts(&geo_agreement(tree, &geo), &historical_claims(tree)))
+        .collect();
+    json_body(&views)
+}
+
+fn fingerprint_body(atlas: &CuisineAtlas, cuisine: Cuisine, k: usize) -> Result<String, ApiError> {
+    if !atlas.cuisines().contains(&cuisine) {
+        return Err(ApiError::not_found(format!(
+            "cuisine {} has no recipes in this corpus",
+            cuisine.name()
+        )));
+    }
+    let matrix = atlas.authenticity_matrix();
+    json_body(&FingerprintView::from_matrix(
+        &matrix,
+        atlas.db(),
+        cuisine,
+        k,
+    ))
+}
+
+fn elbow_body(atlas: &CuisineAtlas, k_max: usize, seed: u64) -> Result<String, ApiError> {
+    require_clusterable(atlas)?;
+    // More clusters than cuisines is not meaningful; clamp instead of
+    // erroring so a default k_max works for any corpus. A no-op for
+    // the full 26-cuisine universe, where k_max is already capped.
+    let k_max = k_max.min(atlas.cuisines().len());
+    json_body(&ElbowView {
+        k_max,
+        seed,
+        wcss: atlas.elbow_curve(k_max, seed),
+    })
+}
+
+/// Parse a positive bounded integer query parameter.
+fn parse_bounded(
+    raw: Option<&str>,
+    name: &str,
+    default: usize,
+    max: usize,
+) -> Result<usize, ApiError> {
+    match raw {
+        Some(s) => {
+            let k = s
+                .parse::<usize>()
+                .map_err(|_| ApiError::bad_request(format!("bad {name}: {s:?}")))?;
+            if k == 0 || k > max {
+                return Err(ApiError::bad_request(format!(
+                    "{name} must be in 1..={max}, got {k}"
+                )));
+            }
+            Ok(k)
+        }
+        None => Ok(default),
+    }
 }
 
 fn timings_json(t: &BuildTimings) -> serde_json::Value {
@@ -292,10 +496,17 @@ fn cuisines(_: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiEr
     ok_json(&json!({ "count": (names.len()), "cuisines": names }))
 }
 
-fn table1(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+/// Resolve the atlas a request addresses: its config plus its corpus
+/// (implicit or uploaded).
+fn atlas_from_request(state: &AppState, request: &Request) -> Result<Arc<CuisineAtlas>, ApiError> {
     let config = config_from_query(request)?;
-    let atlas = state.atlas(&config);
-    ok_json(&Table1View::from_table(&atlas.table1()))
+    let corpus = state.resolve_corpus(request)?;
+    Ok(state.atlas_for(corpus.as_ref(), &config))
+}
+
+fn table1(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let atlas = atlas_from_request(state, request)?;
+    Ok(Response::json(200, table1_body(&atlas)?))
 }
 
 fn pattern_tree(
@@ -304,9 +515,8 @@ fn pattern_tree(
     params: &PathParams,
 ) -> Result<Response, ApiError> {
     let metric = metric_from_name(params.get("metric").unwrap_or_default())?;
-    let config = config_from_query(request)?;
-    let atlas = state.atlas(&config);
-    ok_json(&TreeView::from_tree(&atlas.pattern_tree(metric)))
+    let atlas = atlas_from_request(state, request)?;
+    Ok(Response::json(200, pattern_tree_body(&atlas, metric)?))
 }
 
 fn authenticity_tree(
@@ -314,32 +524,18 @@ fn authenticity_tree(
     request: &Request,
     _: &PathParams,
 ) -> Result<Response, ApiError> {
-    let config = config_from_query(request)?;
-    let atlas = state.atlas(&config);
-    ok_json(&TreeView::from_tree(&atlas.authenticity_tree()))
+    let atlas = atlas_from_request(state, request)?;
+    Ok(Response::json(200, authenticity_tree_body(&atlas)?))
 }
 
 fn geo_tree(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
-    let config = config_from_query(request)?;
-    let atlas = state.atlas(&config);
-    ok_json(&TreeView::from_tree(&atlas.geographic_tree()))
+    let atlas = atlas_from_request(state, request)?;
+    Ok(Response::json(200, geo_tree_body(&atlas)?))
 }
 
 fn compare(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
-    let config = config_from_query(request)?;
-    let atlas = state.atlas(&config);
-    let geo = atlas.geographic_tree();
-    let trees = [
-        atlas.pattern_tree(Metric::Euclidean),
-        atlas.pattern_tree(Metric::Cosine),
-        atlas.pattern_tree(Metric::Jaccard),
-        atlas.authenticity_tree(),
-    ];
-    let views: Vec<AgreementView> = trees
-        .iter()
-        .map(|tree| AgreementView::from_parts(&geo_agreement(tree, &geo), &historical_claims(tree)))
-        .collect();
-    ok_json(&views)
+    let atlas = atlas_from_request(state, request)?;
+    Ok(Response::json(200, compare_body(&atlas)?))
 }
 
 fn fingerprint(
@@ -350,54 +546,174 @@ fn fingerprint(
     let name = params.get("cuisine").unwrap_or_default();
     let cuisine = Cuisine::from_name(name)
         .ok_or_else(|| ApiError::not_found(format!("unknown cuisine {name:?}")))?;
-    let k = match request.query_param("k") {
-        Some(s) => {
-            let k = s
-                .parse::<usize>()
-                .map_err(|_| ApiError::bad_request(format!("bad k: {s:?}")))?;
-            if k == 0 || k > MAX_FINGERPRINT_K {
-                return Err(ApiError::bad_request(format!(
-                    "k must be in 1..={MAX_FINGERPRINT_K}, got {k}"
-                )));
-            }
-            k
-        }
-        None => 5,
-    };
-    let config = config_from_query(request)?;
-    let atlas = state.atlas(&config);
-    let matrix = atlas.authenticity_matrix();
-    ok_json(&FingerprintView::from_matrix(
-        &matrix,
-        atlas.db(),
-        cuisine,
-        k,
-    ))
+    let k = parse_bounded(request.query_param("k"), "k", 5, MAX_FINGERPRINT_K)?;
+    let atlas = atlas_from_request(state, request)?;
+    Ok(Response::json(200, fingerprint_body(&atlas, cuisine, k)?))
 }
 
 fn elbow(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
-    let k_max = match request.query_param("k_max") {
-        Some(s) => {
-            let k = s
-                .parse::<usize>()
-                .map_err(|_| ApiError::bad_request(format!("bad k_max: {s:?}")))?;
-            if k == 0 || k > MAX_ELBOW_K {
-                return Err(ApiError::bad_request(format!(
-                    "k_max must be in 1..={MAX_ELBOW_K}, got {k}"
-                )));
-            }
-            k
-        }
-        None => 16,
-    };
+    let k_max = parse_bounded(request.query_param("k_max"), "k_max", 16, MAX_ELBOW_K)?;
     let config = config_from_query(request)?;
-    let seed = config.corpus.seed;
-    let atlas = state.atlas(&config);
-    ok_json(&ElbowView {
-        k_max,
-        seed,
-        wcss: atlas.elbow_curve(k_max, seed),
-    })
+    let corpus = state.resolve_corpus(request)?;
+    let atlas = state.atlas_for(corpus.as_ref(), &config);
+    Ok(Response::json(
+        200,
+        elbow_body(&atlas, k_max, config.corpus.seed)?,
+    ))
+}
+
+/// `POST /corpus`: validate and register an uploaded RecipeDB JSON
+/// snapshot, returning its digest id. Every rejection bumps the
+/// corpus-reject counter; no input reaches a panic.
+fn upload_corpus(
+    state: &AppState,
+    request: &Request,
+    _: &PathParams,
+) -> Result<Response, ApiError> {
+    let result = register_corpus(state, request);
+    if result.is_err() {
+        state.metrics().record_corpus_reject();
+    }
+    result
+}
+
+fn register_corpus(state: &AppState, request: &Request) -> Result<Response, ApiError> {
+    if request.body.is_empty() {
+        return Err(ApiError::bad_request(
+            "empty corpus upload; expected a RecipeDB JSON snapshot",
+        ));
+    }
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("corpus upload must be UTF-8 JSON"))?;
+    let db = recipedb::io::from_json(text)
+        .map_err(|e| ApiError::bad_request(format!("invalid corpus: {e}")))?;
+    db.validate_upload().map_err(|e| match e {
+        RecipeDbError::EmptyCorpus => ApiError::unprocessable(format!("invalid corpus: {e}")),
+        other => ApiError::bad_request(format!("invalid corpus: {other}")),
+    })?;
+    let digest = recipedb::corpus_digest(&db);
+    let recipes = db.recipe_count();
+    let cuisines = db.cuisines().count();
+    let (info, created) = state.corpora.insert(CorpusInfo {
+        digest,
+        db: Arc::new(db),
+        recipes,
+        cuisines,
+        bytes: request.body.len(),
+    });
+    state.metrics().record_corpus_upload();
+    ok_json(&json!({
+        "corpus": (info.digest.as_str()),
+        "recipes": (info.recipes),
+        "cuisines": (info.cuisines),
+        "bytes": (info.bytes),
+        "already_registered": (!created),
+    }))
+}
+
+/// Execute one batch artifact spec (`"table1"`,
+/// `"tree/pattern/cosine"`, `"fingerprint/Japanese?k=5"`, ...) against
+/// an already-resolved atlas.
+fn run_artifact(
+    atlas: &CuisineAtlas,
+    config: &AtlasConfig,
+    spec: &str,
+) -> Result<String, ApiError> {
+    let (path, query) = match spec.split_once('?') {
+        Some((p, q)) => (
+            p,
+            crate::http::parse_query(q).ok_or_else(|| {
+                ApiError::bad_request(format!("bad percent-encoding in artifact {spec:?}"))
+            })?,
+        ),
+        None => (spec, Vec::new()),
+    };
+    let param = |name: &str| {
+        query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let segments: Vec<&str> = path
+        .trim_start_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match segments.as_slice() {
+        ["table1"] => table1_body(atlas),
+        ["tree", "pattern", metric] => pattern_tree_body(atlas, metric_from_name(metric)?),
+        ["tree", "authenticity"] => authenticity_tree_body(atlas),
+        ["tree", "geo"] => geo_tree_body(atlas),
+        ["compare"] => compare_body(atlas),
+        ["fingerprint", name] => {
+            let cuisine = Cuisine::from_name(name)
+                .ok_or_else(|| ApiError::not_found(format!("unknown cuisine {name:?}")))?;
+            let k = parse_bounded(param("k"), "k", 5, MAX_FINGERPRINT_K)?;
+            fingerprint_body(atlas, cuisine, k)
+        }
+        ["elbow"] => {
+            let k_max = parse_bounded(param("k_max"), "k_max", 16, MAX_ELBOW_K)?;
+            elbow_body(atlas, k_max, config.corpus.seed)
+        }
+        _ => Err(ApiError::not_found(format!(
+            "unknown artifact {spec:?}; expected table1, tree/pattern/:metric, \
+             tree/authenticity, tree/geo, compare, fingerprint/:cuisine or elbow"
+        ))),
+    }
+}
+
+/// `POST /batch`: execute several artifact requests against one atlas
+/// in a single round trip. The whole batch shares one atlas resolution,
+/// so at most one build happens however many artifacts are requested;
+/// per-artifact failures are reported inline without failing the batch.
+fn batch(state: &AppState, request: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    let config = config_from_query(request)?;
+    let corpus = state.resolve_corpus(request)?;
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("batch body must be UTF-8 JSON"))?;
+    let parsed: serde_json::Value = serde_json::from_str(text)
+        .map_err(|e| ApiError::bad_request(format!("bad batch JSON: {e}")))?;
+    let artifacts = parsed
+        .get("artifacts")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| ApiError::bad_request(r#"batch body needs an "artifacts" array"#))?;
+    if artifacts.is_empty() {
+        return Err(ApiError::bad_request("batch needs at least one artifact"));
+    }
+    if artifacts.len() > MAX_BATCH_ARTIFACTS {
+        return Err(ApiError::bad_request(format!(
+            "batch is capped at {MAX_BATCH_ARTIFACTS} artifacts, got {}",
+            artifacts.len()
+        )));
+    }
+    let specs: Vec<&str> = artifacts
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .ok_or_else(|| ApiError::bad_request("batch artifacts must be strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    // One atlas serves the whole batch: built (or fetched) exactly once.
+    let atlas = state.atlas_for(corpus.as_ref(), &config);
+    let mut results = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (status, body) = match run_artifact(&atlas, &config, spec) {
+            Ok(body) => (200, body),
+            Err(err) => (err.status, error_body(&err)),
+        };
+        // Bodies are embedded verbatim (they are already JSON), keeping
+        // each byte-identical to the individual endpoint's response.
+        let spec_json = serde_json::Value::String(spec.to_string()).to_string();
+        results.push(format!(
+            "{{\"artifact\":{spec_json},\"status\":{status},\"body\":{body}}}"
+        ));
+    }
+    let body = format!(
+        "{{\"count\":{},\"results\":[{}]}}",
+        results.len(),
+        results.join(",")
+    );
+    Ok(Response::json(200, body))
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--cache-capacity N] [--build-threads N]
 //!             [--prewarm SEED[,SEED...]] [--access-log]
+//!             [--max-corpus-bytes N] [--max-corpora N]
 //! ```
 //!
 //! `--prewarm` builds the quick atlas for each listed seed before
@@ -12,7 +13,9 @@
 //! (default: all available cores); the built atlases are bit-for-bit
 //! identical for every thread count. `--access-log` writes one JSON
 //! line per served request to stdout; scrape `/metrics` for Prometheus
-//! counters and latency histograms.
+//! counters and latency histograms. `--max-corpus-bytes` caps the
+//! `POST /corpus` upload size (413 beyond it) and `--max-corpora`
+//! bounds how many uploaded corpora are kept before LRU eviction.
 
 use atlas_server::{handle, ServerConfig, ServerHandle};
 use cuisine_atlas::pipeline::AtlasConfig;
@@ -26,7 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
          [--cache-capacity N] [--build-threads N] [--prewarm SEED[,SEED...]] \
-         [--access-log]"
+         [--access-log] [--max-corpus-bytes N] [--max-corpora N]"
     );
     std::process::exit(2);
 }
@@ -69,6 +72,13 @@ fn parse_options() -> Options {
                     .collect()
             }
             "--access-log" => options.config.access_log = true,
+            "--max-corpus-bytes" => {
+                options.config.max_corpus_bytes =
+                    parse_num(&value("--max-corpus-bytes"), "--max-corpus-bytes")
+            }
+            "--max-corpora" => {
+                options.config.max_corpora = parse_num(&value("--max-corpora"), "--max-corpora")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");

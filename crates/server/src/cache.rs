@@ -19,9 +19,13 @@ const SHARDS: usize = 8;
 ///
 /// Two configs that produce the same corpus and trees map to the same
 /// key; `f64` fields are compared via `to_bits` so `0.2` and `0.2`
-/// parsed from different query strings coincide exactly.
+/// parsed from different query strings coincide exactly. An uploaded
+/// corpus replaces the generator entirely, so its key carries the
+/// corpus digest and zeroes the generation-only knobs — two requests
+/// against the same upload share one build regardless of `seed`/`scale`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    corpus: Option<String>,
     seed: u64,
     scale_bits: u64,
     min_recipes_per_cuisine: usize,
@@ -32,12 +36,33 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Canonicalize a config into its cache identity.
+    /// Canonicalize a config into its cache identity (implicit,
+    /// generator-backed corpus).
     pub fn from_config(config: &AtlasConfig) -> Self {
         CacheKey {
+            corpus: None,
             seed: config.corpus.seed,
             scale_bits: config.corpus.scale.to_bits(),
             min_recipes_per_cuisine: config.corpus.min_recipes_per_cuisine,
+            min_support_bits: config.min_support.to_bits(),
+            generic_fraction_bits: config.generic_fraction.to_bits(),
+            top_k: config.top_k,
+            linkage: config.linkage.name(),
+        }
+    }
+
+    /// The cache identity of a build over an uploaded corpus identified
+    /// by `digest`. Generation parameters (`seed`, `scale`,
+    /// `min_recipes_per_cuisine`) do not influence the recipes when the
+    /// corpus is supplied, so they are zeroed out of the key; analysis
+    /// parameters (`min_support`, `linkage`, ...) still distinguish
+    /// builds.
+    pub fn for_corpus(digest: &str, config: &AtlasConfig) -> Self {
+        CacheKey {
+            corpus: Some(digest.to_string()),
+            seed: 0,
+            scale_bits: 0,
+            min_recipes_per_cuisine: 0,
             min_support_bits: config.min_support.to_bits(),
             generic_fraction_bits: config.generic_fraction.to_bits(),
             top_k: config.top_k,
@@ -168,6 +193,21 @@ mod tests {
         let mut with_other_support = AtlasConfig::quick(7);
         with_other_support.min_support += 0.05;
         assert_ne!(a, CacheKey::from_config(&with_other_support));
+    }
+
+    #[test]
+    fn corpus_keys_ignore_generation_parameters() {
+        // Different seeds/scales over the same upload are one build...
+        let a = CacheKey::for_corpus("abc123", &AtlasConfig::quick(7));
+        let b = CacheKey::for_corpus("abc123", &AtlasConfig::quick(99));
+        assert_eq!(a, b);
+        // ...but analysis parameters still split the key.
+        let mut other = AtlasConfig::quick(7);
+        other.min_support += 0.05;
+        assert_ne!(a, CacheKey::for_corpus("abc123", &other));
+        // Distinct corpora never collide, nor with the implicit corpus.
+        assert_ne!(a, CacheKey::for_corpus("def456", &AtlasConfig::quick(7)));
+        assert_ne!(a, CacheKey::from_config(&AtlasConfig::quick(7)));
     }
 
     #[test]

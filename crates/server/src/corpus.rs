@@ -1,0 +1,172 @@
+//! The bounded registry of user-uploaded corpora.
+//!
+//! `POST /corpus` validates a RecipeDB snapshot and registers it here
+//! under its content digest; `?corpus=<digest>` on any endpoint looks it
+//! up. The registry is a small approximately-LRU map: uploads beyond
+//! `max_corpora` evict the least-recently-used corpus (its cached
+//! atlases stay keyed by digest in the atlas cache until they age out
+//! there too). Registering the same bytes twice is idempotent — the
+//! digest is the identity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use recipedb::RecipeDb;
+
+/// An uploaded corpus and its summary, shared immutably with every
+/// build that uses it.
+#[derive(Debug)]
+pub struct CorpusInfo {
+    /// Content digest — the corpus id clients pass as `?corpus=`.
+    pub digest: String,
+    /// The validated database.
+    pub db: Arc<RecipeDb>,
+    /// Total recipes in the corpus.
+    pub recipes: usize,
+    /// Number of cuisines with at least one recipe.
+    pub cuisines: usize,
+    /// Size of the uploaded JSON body, in bytes.
+    pub bytes: usize,
+}
+
+struct Slot {
+    info: Arc<CorpusInfo>,
+    last_used: u64,
+}
+
+/// A bounded, approximately-LRU corpus store.
+pub struct CorpusRegistry {
+    slots: RwLock<HashMap<String, Slot>>,
+    max_corpora: usize,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CorpusRegistry {
+    /// A registry holding at most `max_corpora` corpora.
+    pub fn new(max_corpora: usize) -> Self {
+        CorpusRegistry {
+            slots: RwLock::new(HashMap::new()),
+            max_corpora: max_corpora.max(1),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a corpus, evicting the least-recently-used one when
+    /// full. Returns the stored info and whether this digest was new
+    /// (`false` = the upload was a no-op re-registration).
+    pub fn insert(&self, info: CorpusInfo) -> (Arc<CorpusInfo>, bool) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.write().unwrap();
+        if let Some(slot) = slots.get_mut(&info.digest) {
+            slot.last_used = now;
+            return (Arc::clone(&slot.info), false);
+        }
+        let info = Arc::new(info);
+        slots.insert(
+            info.digest.clone(),
+            Slot {
+                info: Arc::clone(&info),
+                last_used: now,
+            },
+        );
+        while slots.len() > self.max_corpora {
+            let oldest = slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    slots.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        (info, true)
+    }
+
+    /// Look up a corpus by digest, stamping recency on a hit.
+    pub fn get(&self, digest: &str) -> Option<Arc<CorpusInfo>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.write().unwrap();
+        slots.get_mut(digest).map(|slot| {
+            slot.last_used = now;
+            Arc::clone(&slot.info)
+        })
+    }
+
+    /// Number of registered corpora.
+    pub fn len(&self) -> usize {
+        self.slots.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Corpora evicted to make room since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(digest: &str) -> CorpusInfo {
+        CorpusInfo {
+            digest: digest.to_string(),
+            db: Arc::new(recipedb::store::RecipeDbBuilder::new().build().unwrap()),
+            recipes: 0,
+            cuisines: 0,
+            bytes: 2,
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_by_digest() {
+        let reg = CorpusRegistry::new(4);
+        let (a, created) = reg.insert(info("d1"));
+        assert!(created);
+        let (b, created_again) = reg.insert(info("d1"));
+        assert!(!created_again);
+        assert!(Arc::ptr_eq(&a, &b), "re-upload returns the stored corpus");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn get_finds_registered_corpora_only() {
+        let reg = CorpusRegistry::new(4);
+        reg.insert(info("d1"));
+        assert!(reg.get("d1").is_some());
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used_and_counted() {
+        let reg = CorpusRegistry::new(2);
+        reg.insert(info("d1"));
+        reg.insert(info("d2"));
+        // Touch d1 so d2 is the LRU victim.
+        reg.get("d1");
+        reg.insert(info("d3"));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("d1").is_some());
+        assert!(reg.get("d2").is_none(), "LRU corpus was evicted");
+        assert!(reg.get("d3").is_some());
+        assert_eq!(reg.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let reg = CorpusRegistry::new(0);
+        reg.insert(info("d1"));
+        reg.insert(info("d2"));
+        assert_eq!(reg.len(), 1);
+    }
+}

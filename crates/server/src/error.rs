@@ -37,6 +37,23 @@ impl ApiError {
         }
     }
 
+    /// 413 — the request body exceeds the configured size cap.
+    pub fn payload_too_large(msg: impl Into<String>) -> Self {
+        ApiError {
+            status: 413,
+            message: msg.into(),
+        }
+    }
+
+    /// 422 — the request parsed but the content is semantically unusable
+    /// (e.g. an uploaded corpus too small to cluster).
+    pub fn unprocessable(msg: impl Into<String>) -> Self {
+        ApiError {
+            status: 422,
+            message: msg.into(),
+        }
+    }
+
     /// 500 — handler failure.
     pub fn internal(msg: impl Into<String>) -> Self {
         ApiError {
@@ -71,6 +88,8 @@ mod tests {
         assert_eq!(ApiError::bad_request("x").status, 400);
         assert_eq!(ApiError::not_found("x").status, 404);
         assert_eq!(ApiError::method_not_allowed("x").status, 405);
+        assert_eq!(ApiError::payload_too_large("x").status, 413);
+        assert_eq!(ApiError::unprocessable("x").status, 422);
         assert_eq!(ApiError::internal("x").status, 500);
         assert_eq!(ApiError::unavailable("x").status, 503);
         assert_eq!(

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant, SystemTime};
 
 use crate::api::{self, AppState};
 use crate::error::ApiError;
-use crate::http::{read_request, ParseError};
+use crate::http::{read_request_limited, BodyLimits, ParseError};
 use crate::pool::WorkerPool;
 use crate::router::Router;
 use crate::ServerConfig;
@@ -21,6 +21,10 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_REQUESTS_PER_CONNECTION: usize = 256;
 /// Accept-loop poll interval while no connections arrive.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Most bytes drained (and discarded) from an over-cap request body so
+/// the 413 response survives the close; see `http::drain_body`.
+const DRAIN_CAP: usize = 8 * 1024 * 1024;
 
 /// A running server: owns its listener thread and worker pool, exposes
 /// the bound address, and shuts down gracefully on [`ServerHandle::shutdown`]
@@ -40,10 +44,11 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let state = Arc::new(AppState::new(
+        let state = Arc::new(AppState::with_limits(
             config.cache_capacity,
             config.workers,
             config.build_threads,
+            config.max_corpora,
         ));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -52,6 +57,10 @@ impl ServerHandle {
         let workers = config.workers;
         let queue_cap = config.queue_cap;
         let access_log = config.access_log;
+        let limits = BodyLimits {
+            corpus_bytes: config.max_corpus_bytes,
+            ..BodyLimits::default()
+        };
         let accept_thread = std::thread::Builder::new()
             .name("atlas-accept".to_string())
             .spawn(move || {
@@ -62,6 +71,7 @@ impl ServerHandle {
                     workers,
                     queue_cap,
                     access_log,
+                    limits,
                 );
             })?;
 
@@ -99,6 +109,30 @@ impl ServerHandle {
         )?;
         let mut raw = Vec::new();
         stream.read_to_end(&mut raw)?;
+        parse_client_response(&raw)
+    }
+
+    /// Minimal blocking client: `POST` a JSON body to a path and return
+    /// `(status, body)`.
+    pub fn post(&self, path_and_query: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        write!(
+            stream,
+            "POST {path_and_query} HTTP/1.1\r\nHost: atlas\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )?;
+        // The server may reject the request from its headers alone (413)
+        // and respond before the body is through — keep the write error,
+        // if any, and still try to collect that response.
+        let written = stream.write_all(body);
+        let mut raw = Vec::new();
+        let read = stream.read_to_end(&mut raw);
+        if raw.is_empty() {
+            written?;
+            read?;
+        }
         parse_client_response(&raw)
     }
 
@@ -150,6 +184,7 @@ fn accept_loop(
     workers: usize,
     queue_cap: usize,
     access_log: bool,
+    limits: BodyLimits,
 ) {
     // The pool lives (and dies) with the accept loop: when the loop
     // exits, dropping the pool drains queued connections and joins the
@@ -170,6 +205,7 @@ fn accept_loop(
                 handler_state.as_ref(),
                 handler_stop.as_ref(),
                 access_log,
+                limits,
             );
         },
     );
@@ -212,6 +248,7 @@ fn handle_connection(
     state: &AppState,
     stop: &AtomicBool,
     access_log: bool,
+    limits: BodyLimits,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -223,13 +260,33 @@ fn handle_connection(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let request = match read_request(&mut reader) {
+        let request = match read_request_limited(&mut reader, &limits) {
             Ok(request) => request,
             Err(ParseError::ConnectionClosed) => break,
             Err(ParseError::Malformed(msg)) => {
                 state.metrics().record_parse_error();
                 let resp = api::error_response(&ApiError::bad_request(msg));
                 let _ = resp.write_to(&mut writer, false);
+                break;
+            }
+            Err(ParseError::BodyTooLarge {
+                path,
+                limit,
+                advertised,
+            }) => {
+                state.metrics().record_parse_error();
+                if path == "/corpus" || path.starts_with("/corpus/") {
+                    state.metrics().record_corpus_reject();
+                }
+                let resp = api::error_response(&ApiError::payload_too_large(format!(
+                    "body for {path} exceeds the {limit}-byte limit"
+                )));
+                let _ = resp.write_to(&mut writer, false);
+                // Drain what the client advertised (bounded) before
+                // closing: an unread body would turn the close into a
+                // TCP reset that can destroy the 413 mid-flight. Truly
+                // huge uploads are cut off at the cap and reset anyway.
+                crate::http::drain_body(&mut reader, advertised.min(DRAIN_CAP));
                 break;
             }
         };

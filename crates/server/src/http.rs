@@ -14,8 +14,44 @@ const MAX_REQUEST_LINE: usize = 8 * 1024;
 const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Hard limit on header count.
 const MAX_HEADERS: usize = 64;
-/// Hard limit on request bodies.
+/// Default hard limit on request bodies.
 const MAX_BODY: usize = 1024 * 1024;
+/// Bodies are drained in chunks of this size so an over-cap upload is
+/// rejected after at most one chunk past the limit, not after buffering
+/// the whole advertised length.
+const BODY_CHUNK: usize = 64 * 1024;
+
+/// Per-path request-body caps.
+///
+/// Corpus uploads are legitimately large (a full RecipeDB snapshot),
+/// every other endpoint takes at most a small JSON document — so the
+/// limit is chosen by path prefix before the body is read.
+#[derive(Debug, Clone, Copy)]
+pub struct BodyLimits {
+    /// Cap for `POST /corpus` bodies, in bytes.
+    pub corpus_bytes: usize,
+    /// Cap for every other request body, in bytes.
+    pub default_bytes: usize,
+}
+
+impl Default for BodyLimits {
+    fn default() -> Self {
+        BodyLimits {
+            corpus_bytes: MAX_BODY,
+            default_bytes: MAX_BODY,
+        }
+    }
+}
+
+impl BodyLimits {
+    fn for_path(&self, path: &str) -> usize {
+        if path == "/corpus" || path.starts_with("/corpus/") {
+            self.corpus_bytes
+        } else {
+            self.default_bytes
+        }
+    }
+}
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -67,10 +103,47 @@ pub enum ParseError {
     ConnectionClosed,
     /// The bytes were not valid HTTP; the message goes into a 400 body.
     Malformed(String),
+    /// The body exceeded the cap for its path; becomes a 413. The
+    /// connection is closed afterwards — after a bounded drain of the
+    /// unread body, so the client can collect the response instead of
+    /// hitting a TCP reset.
+    BodyTooLarge {
+        /// The request path the limit was chosen for.
+        path: String,
+        /// The cap that was exceeded, in bytes.
+        limit: usize,
+        /// The Content-Length the client advertised.
+        advertised: usize,
+    },
 }
 
-/// Read one request from a buffered stream.
+/// Read one request from a buffered stream with the default body caps.
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    read_request_limited(reader, &BodyLimits::default())
+}
+
+/// Read and discard up to `n` body bytes in bounded chunks, stopping
+/// early on any I/O error. Used after an over-cap body is rejected:
+/// closing a socket with unread data makes the kernel send a TCP reset,
+/// which can destroy the 413 response before the client reads it — a
+/// bounded drain lets the rejection actually reach the peer.
+pub fn drain_body<R: BufRead>(reader: &mut R, n: usize) {
+    let mut scratch = [0u8; 4096];
+    let mut remaining = n;
+    while remaining > 0 {
+        let want = remaining.min(scratch.len());
+        match std::io::Read::read(reader, &mut scratch[..want]) {
+            Ok(0) | Err(_) => break,
+            Ok(got) => remaining -= got,
+        }
+    }
+}
+
+/// Read one request from a buffered stream, capping the body by path.
+pub fn read_request_limited<R: BufRead>(
+    reader: &mut R,
+    limits: &BodyLimits,
+) -> Result<Request, ParseError> {
     let line = read_line(reader, MAX_REQUEST_LINE)?;
     if line.is_empty() {
         return Err(ParseError::ConnectionClosed);
@@ -127,12 +200,27 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
             let len: usize = v
                 .parse()
                 .map_err(|_| ParseError::Malformed(format!("bad content-length: {v}")))?;
-            if len > MAX_BODY {
-                return Err(ParseError::Malformed(format!("body too large: {len}")));
+            let limit = limits.for_path(&path);
+            if len > limit {
+                return Err(ParseError::BodyTooLarge {
+                    path,
+                    limit,
+                    advertised: len,
+                });
             }
-            let mut buf = vec![0u8; len];
-            std::io::Read::read_exact(reader, &mut buf)
-                .map_err(|e| ParseError::Malformed(format!("short body: {e}")))?;
+            // Drain in bounded chunks: the advertised length is already
+            // under the cap, but never trust it enough to allocate the
+            // whole body before any byte arrives.
+            let mut buf = Vec::with_capacity(len.min(BODY_CHUNK));
+            let mut remaining = len;
+            while remaining > 0 {
+                let chunk = remaining.min(BODY_CHUNK);
+                let start = buf.len();
+                buf.resize(start + chunk, 0);
+                std::io::Read::read_exact(reader, &mut buf[start..])
+                    .map_err(|e| ParseError::Malformed(format!("short body: {e}")))?;
+                remaining -= chunk;
+            }
             buf
         }
         None => Vec::new(),
@@ -208,7 +296,7 @@ fn hex(b: u8) -> Option<u8> {
 }
 
 /// Split a query string into decoded key/value pairs.
-fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
+pub(crate) fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
     let mut out = Vec::new();
     for pair in q.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
@@ -262,6 +350,8 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -332,6 +422,46 @@ mod tests {
             parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nabc").unwrap_err(),
             ParseError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn body_limits_are_chosen_by_path() {
+        let limits = BodyLimits {
+            corpus_bytes: 8,
+            default_bytes: 2,
+        };
+        let parse_with =
+            |raw: &str| read_request_limited(&mut BufReader::new(raw.as_bytes()), &limits);
+        // Under the /corpus cap but over the default one.
+        let r = parse_with("POST /corpus HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert!(matches!(
+            parse_with("POST /batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap_err(),
+            ParseError::BodyTooLarge { ref path, limit: 2, advertised: 4 } if path == "/batch"
+        ));
+        // Over even the /corpus cap — rejected before reading the body.
+        assert!(matches!(
+            parse_with("POST /corpus HTTP/1.1\r\nContent-Length: 9\r\n\r\n").unwrap_err(),
+            ParseError::BodyTooLarge { limit: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn large_bodies_are_read_in_chunks() {
+        // Bigger than one BODY_CHUNK to exercise the chunked drain.
+        let payload = vec![b'x'; BODY_CHUNK + 17];
+        let mut raw = format!(
+            "POST /corpus HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            payload.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&payload);
+        let limits = BodyLimits {
+            corpus_bytes: 2 * BODY_CHUNK,
+            default_bytes: MAX_BODY,
+        };
+        let r = read_request_limited(&mut BufReader::new(raw.as_slice()), &limits).unwrap();
+        assert_eq!(r.body, payload);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod corpus;
 pub mod error;
 pub mod handle;
 pub mod http;
@@ -53,6 +54,12 @@ pub struct ServerConfig {
     /// Emit one JSON line per served request on stdout (the
     /// `atlas-serve --access-log` flag).
     pub access_log: bool,
+    /// Largest `POST /corpus` body accepted, in bytes; larger uploads
+    /// are rejected with a 413 before the body is buffered.
+    pub max_corpus_bytes: usize,
+    /// Uploaded corpora kept in the registry; beyond it the
+    /// least-recently-used corpus is evicted.
+    pub max_corpora: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +71,8 @@ impl Default for ServerConfig {
             cache_capacity: 4,
             build_threads: 0,
             access_log: false,
+            max_corpus_bytes: 64 * 1024 * 1024,
+            max_corpora: 8,
         }
     }
 }

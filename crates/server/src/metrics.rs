@@ -215,6 +215,12 @@ pub struct MetricsRegistry {
     cache_misses: AtomicU64,
     builds: AtomicU64,
     dedup: AtomicU64,
+    corpus_uploads: AtomicU64,
+    corpus_rejects: AtomicU64,
+    // Builds by corpus label ("synthetic" or a digest prefix). Label
+    // cardinality is bounded by the corpus registry's capacity, so the
+    // map stays small; builds are rare enough that a lock is fine.
+    builds_by_corpus: RwLock<BTreeMap<String, u64>>,
     spans: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -233,6 +239,9 @@ impl MetricsRegistry {
             cache_misses: AtomicU64::new(0),
             builds: AtomicU64::new(0),
             dedup: AtomicU64::new(0),
+            corpus_uploads: AtomicU64::new(0),
+            corpus_rejects: AtomicU64::new(0),
+            builds_by_corpus: RwLock::new(BTreeMap::new()),
             spans: RwLock::new(BTreeMap::new()),
         }
     }
@@ -308,6 +317,52 @@ impl MetricsRegistry {
     /// a leader's result instead of building).
     pub fn record_dedup(&self) {
         self.dedup.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cold builds performed since startup.
+    pub fn build_total(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Builds avoided through single-flight deduplication.
+    pub fn dedup_total(&self) -> u64 {
+        self.dedup.load(Ordering::Relaxed)
+    }
+
+    /// Count one accepted corpus upload (including idempotent
+    /// re-uploads of an already-registered digest).
+    pub fn record_corpus_upload(&self) {
+        self.corpus_uploads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one rejected corpus upload (oversize, malformed, or
+    /// failing validation).
+    pub fn record_corpus_reject(&self) {
+        self.corpus_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accepted corpus uploads since startup.
+    pub fn corpus_uploads(&self) -> u64 {
+        self.corpus_uploads.load(Ordering::Relaxed)
+    }
+
+    /// Rejected corpus uploads since startup.
+    pub fn corpus_rejects(&self) -> u64 {
+        self.corpus_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Attribute one cold build to a corpus label (`"synthetic"` for
+    /// the generator, a digest prefix for uploads). Labels stay bounded
+    /// because the corpus registry itself is bounded.
+    pub fn record_build_for_corpus(&self, label: &str) {
+        let mut map = self.builds_by_corpus.write().unwrap();
+        *map.entry(label.to_string()).or_insert(0) += 1;
+    }
+
+    /// Per-corpus build counts, `(label, builds)` in label order.
+    pub fn builds_by_corpus(&self) -> Vec<(String, u64)> {
+        let map = self.builds_by_corpus.read().unwrap();
+        map.iter().map(|(k, &v)| (k.clone(), v)).collect()
     }
 
     /// Named build spans recorded so far, as `(name, snapshot)` pairs
@@ -417,9 +472,32 @@ impl MetricsRegistry {
                 "Builds avoided by single-flight deduplication.",
                 &self.dedup,
             ),
+            (
+                "atlas_corpus_uploads_total",
+                "Corpus uploads accepted.",
+                &self.corpus_uploads,
+            ),
+            (
+                "atlas_corpus_upload_rejects_total",
+                "Corpus uploads rejected before registration.",
+                &self.corpus_rejects,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
             out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
+        }
+
+        let by_corpus = self.builds_by_corpus();
+        if !by_corpus.is_empty() {
+            out.push_str(
+                "# HELP atlas_builds_by_corpus_total Cold builds by corpus label.\n\
+                 # TYPE atlas_builds_by_corpus_total counter\n",
+            );
+            for (label, n) in &by_corpus {
+                out.push_str(&format!(
+                    "atlas_builds_by_corpus_total{{corpus=\"{label}\"}} {n}\n"
+                ));
+            }
         }
 
         let spans = self.span_snapshots();
@@ -636,6 +714,28 @@ mod tests {
         assert_eq!(spans[1].1.count(), 2);
         let text = reg.render_prometheus("");
         assert!(text.contains("atlas_build_span_seconds_count{span=\"stage/generate\"} 2"));
+    }
+
+    #[test]
+    fn corpus_counters_render_and_accumulate() {
+        let reg = MetricsRegistry::new(&[]);
+        reg.record_corpus_upload();
+        reg.record_corpus_reject();
+        reg.record_corpus_reject();
+        reg.record_build_for_corpus("synthetic");
+        reg.record_build_for_corpus("synthetic");
+        reg.record_build_for_corpus("3f2a9c01");
+        assert_eq!(reg.corpus_uploads(), 1);
+        assert_eq!(reg.corpus_rejects(), 2);
+        assert_eq!(
+            reg.builds_by_corpus(),
+            vec![("3f2a9c01".to_string(), 1), ("synthetic".to_string(), 2)]
+        );
+        let text = reg.render_prometheus("");
+        assert!(text.contains("atlas_corpus_uploads_total 1"));
+        assert!(text.contains("atlas_corpus_upload_rejects_total 2"));
+        assert!(text.contains("atlas_builds_by_corpus_total{corpus=\"synthetic\"} 2"));
+        assert!(text.contains("atlas_builds_by_corpus_total{corpus=\"3f2a9c01\"} 1"));
     }
 
     #[test]

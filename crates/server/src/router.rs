@@ -87,6 +87,14 @@ impl<C> Router<C> {
         self.route("GET", pattern, handler)
     }
 
+    /// Shorthand for a POST route.
+    pub fn post<H>(self, pattern: &'static str, handler: H) -> Self
+    where
+        H: Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync + 'static,
+    {
+        self.route("POST", pattern, handler)
+    }
+
     /// The registered route patterns, registration order.
     pub fn labels(&self) -> Vec<&'static str> {
         self.routes.iter().map(|r| r.pattern).collect()
