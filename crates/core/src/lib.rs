@@ -58,6 +58,7 @@ pub mod pairing;
 pub mod patterns;
 pub mod pipeline;
 pub mod report;
+pub mod snapshot;
 pub mod views;
 
 pub use pipeline::{AtlasConfig, CuisineAtlas, CuisineTree};

@@ -546,6 +546,45 @@ impl CuisineAtlas {
             self.config.effective_build_threads(),
         )
     }
+
+    /// Reassemble an atlas from decoded snapshot parts (the
+    /// [`crate::snapshot`] restore path), pre-populating every distance
+    /// cache so no pipeline stage re-runs. The caller (the snapshot
+    /// decoder) is responsible for having validated that the parts are
+    /// mutually consistent.
+    pub(crate) fn from_restored(parts: RestoredAtlas) -> Self {
+        let caches = DistanceCaches::default();
+        let _ = caches.euclidean.set(parts.euclidean);
+        let _ = caches.cosine.set(parts.cosine);
+        let _ = caches.jaccard.set(parts.jaccard);
+        let _ = caches.authenticity.set(parts.authenticity);
+        let _ = caches.authenticity_dist.set(parts.authenticity_dist);
+        CuisineAtlas {
+            config: parts.config,
+            db: parts.db,
+            cuisines: parts.cuisines,
+            patterns: parts.patterns,
+            features: parts.features,
+            caches,
+            timings: parts.timings,
+        }
+    }
+}
+
+/// Decoded parts of a persisted atlas, consumed by
+/// [`CuisineAtlas::from_restored`].
+pub(crate) struct RestoredAtlas {
+    pub config: AtlasConfig,
+    pub db: Arc<RecipeDb>,
+    pub cuisines: Vec<Cuisine>,
+    pub patterns: Vec<CuisinePatterns>,
+    pub features: PatternFeatures,
+    pub euclidean: CondensedMatrix,
+    pub cosine: CondensedMatrix,
+    pub jaccard: CondensedMatrix,
+    pub authenticity: AuthenticityMatrix,
+    pub authenticity_dist: CondensedMatrix,
+    pub timings: BuildTimings,
 }
 
 #[cfg(test)]

@@ -1,0 +1,152 @@
+//! Property-based damage resistance of the snapshot codec: every
+//! truncation and every bit flip is rejected with a typed
+//! [`SnapshotError`] — never a panic, never a silently wrong atlas —
+//! and corpus snapshots round-trip arbitrary corpora losslessly.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use cuisine_atlas::snapshot::{
+    decode_atlas, decode_corpus, encode_atlas, encode_corpus, peek_corpus, CorpusOrigin,
+};
+use recipedb::store::{RecipeDb, RecipeDbBuilder};
+use recipedb::Cuisine;
+
+/// A tiny deterministic corpus — three cuisines, four recipes each —
+/// big enough for mining and clustering, small enough that the fixture
+/// atlas build is effectively free.
+fn tiny_db() -> RecipeDb {
+    let mut b = RecipeDbBuilder::new();
+    let ings: Vec<_> = (0..6)
+        .map(|i| b.catalog_mut().intern_ingredient(&format!("ing-{i}")))
+        .collect();
+    let procs: Vec<_> = (0..3)
+        .map(|i| b.catalog_mut().intern_process(&format!("proc-{i}")))
+        .collect();
+    for (ci, &cuisine) in Cuisine::ALL[..3].iter().enumerate() {
+        for r in 0..4 {
+            b.add_recipe(
+                format!("r{ci}-{r}"),
+                cuisine,
+                vec![ings[ci], ings[(ci + r) % 6], ings[5 - ci]],
+                vec![procs[(ci + r) % 3]],
+                vec![],
+            );
+        }
+    }
+    b.build().expect("valid corpus")
+}
+
+struct Fixture {
+    digest: String,
+    db: Arc<RecipeDb>,
+    atlas_bytes: Vec<u8>,
+    corpus_bytes: Vec<u8>,
+}
+
+/// One shared fixture across every property: the atlas is built once.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let db = Arc::new(tiny_db());
+        let digest = recipedb::corpus_digest(&db);
+        let atlas = CuisineAtlas::from_shared(Arc::clone(&db), &AtlasConfig::quick(1));
+        let atlas_bytes = encode_atlas(&atlas, &digest);
+        let corpus_bytes = encode_corpus(&db, CorpusOrigin::Uploaded, 77).expect("encodable");
+        Fixture {
+            digest,
+            db,
+            atlas_bytes,
+            corpus_bytes,
+        }
+    })
+}
+
+/// An arbitrary small corpus for the round-trip property.
+fn arb_db() -> impl Strategy<Value = RecipeDb> {
+    let recipe = (
+        0usize..26,                             // cuisine index
+        prop::collection::vec(0usize..8, 0..6), // ingredient picks
+        prop::collection::vec(0usize..4, 0..4), // process picks
+    );
+    prop::collection::vec(recipe, 1..16).prop_map(|rows| {
+        let mut b = RecipeDbBuilder::new();
+        let ings: Vec<_> = (0..8)
+            .map(|i| b.catalog_mut().intern_ingredient(&format!("ing-{i}")))
+            .collect();
+        let procs: Vec<_> = (0..4)
+            .map(|i| b.catalog_mut().intern_process(&format!("proc-{i}")))
+            .collect();
+        for (n, (c, ri, rp)) in rows.into_iter().enumerate() {
+            b.add_recipe(
+                format!("r{n}"),
+                Cuisine::from_index(c).unwrap(),
+                ri.into_iter().map(|i| ings[i]).collect(),
+                rp.into_iter().map(|i| procs[i]).collect(),
+                Vec::new(),
+            );
+        }
+        b.build().expect("valid corpus")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_atlas_snapshots_are_rejected(cut in 0usize..fixture().atlas_bytes.len()) {
+        let f = fixture();
+        let result = decode_atlas(&f.atlas_bytes[..cut], Arc::clone(&f.db), &f.digest, 1);
+        prop_assert!(result.is_err(), "cut at {} must not decode", cut);
+    }
+
+    #[test]
+    fn bit_flipped_atlas_snapshots_are_rejected(
+        pos in 0usize..fixture().atlas_bytes.len(),
+        bit in 0usize..8,
+    ) {
+        let f = fixture();
+        let mut bad = f.atlas_bytes.clone();
+        bad[pos] ^= 1 << bit;
+        let result = decode_atlas(&bad, Arc::clone(&f.db), &f.digest, 1);
+        prop_assert!(result.is_err(), "flip at byte {} bit {} must not decode", pos, bit);
+    }
+
+    #[test]
+    fn truncated_corpus_snapshots_are_rejected(cut in 0usize..fixture().corpus_bytes.len()) {
+        let f = fixture();
+        prop_assert!(decode_corpus(&f.corpus_bytes[..cut]).is_err());
+        prop_assert!(peek_corpus(&f.corpus_bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_corpus_snapshots_are_rejected(
+        pos in 0usize..fixture().corpus_bytes.len(),
+        bit in 0usize..8,
+    ) {
+        let f = fixture();
+        let mut bad = f.corpus_bytes.clone();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(decode_corpus(&bad).is_err(), "flip at byte {} bit {}", pos, bit);
+    }
+
+    #[test]
+    fn corpus_snapshots_roundtrip_arbitrary_corpora(
+        db in arb_db(),
+        upload_bytes in 0u64..1_000_000,
+    ) {
+        let digest = recipedb::corpus_digest(&db);
+        let bytes = encode_corpus(&db, CorpusOrigin::Uploaded, upload_bytes).unwrap();
+        let peek = peek_corpus(&bytes).unwrap();
+        prop_assert_eq!(&peek.digest, &digest);
+        prop_assert_eq!(peek.upload_bytes, upload_bytes);
+        let snap = decode_corpus(&bytes).unwrap();
+        prop_assert_eq!(&snap.digest, &digest);
+        prop_assert_eq!(snap.origin, CorpusOrigin::Uploaded);
+        prop_assert_eq!(snap.upload_bytes, upload_bytes);
+        prop_assert_eq!(recipedb::corpus_digest(&snap.db), digest);
+        prop_assert_eq!(snap.db.recipe_count(), db.recipe_count());
+    }
+}

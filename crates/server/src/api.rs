@@ -13,11 +13,14 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant, SystemTime};
 
+use atlas_store::SnapshotStore;
 use clustering::hac::LinkageMethod;
 use clustering::Metric;
 use cuisine_atlas::compare::{geo_agreement, historical_claims};
-use cuisine_atlas::pipeline::{AtlasConfig, BuildTimings, CuisineAtlas};
+use cuisine_atlas::pipeline::{AtlasConfig, BuildTimings, CuisineAtlas, SpanSink};
+use cuisine_atlas::snapshot::{self, CorpusOrigin};
 use cuisine_atlas::views::{AgreementView, ElbowView, FingerprintView, Table1View, TreeView};
 use recipedb::{Cuisine, RecipeDbError};
 use serde::Serialize;
@@ -51,11 +54,14 @@ const CORPUS_LABEL_LEN: usize = 12;
 
 /// Shared state behind every handler: the atlas cache, the
 /// single-flight table guarding cold builds, the uploaded-corpus
-/// registry, and the metrics registry every request reports into.
+/// registry, the optional persistent snapshot store, and the metrics
+/// registry every request reports into.
 pub struct AppState {
     cache: AtlasCache<CuisineAtlas>,
     flight: SingleFlight<CacheKey, CuisineAtlas>,
     corpora: CorpusRegistry,
+    store: Option<Arc<SnapshotStore>>,
+    corpus_ttl: Option<Duration>,
     builds: AtomicUsize,
     workers: usize,
     build_threads: usize,
@@ -78,15 +84,81 @@ impl AppState {
         build_threads: usize,
         max_corpora: usize,
     ) -> Self {
-        AppState {
+        Self::with_persistence(
+            cache_capacity,
+            workers,
+            build_threads,
+            max_corpora,
+            None,
+            None,
+        )
+    }
+
+    /// [`AppState::with_limits`] backed by a persistent snapshot store
+    /// and an optional TTL for uploaded corpora. Uploaded corpora found
+    /// in the store are re-registered immediately (the warm start), so
+    /// `?corpus=` digests issued before a restart keep resolving.
+    pub fn with_persistence(
+        cache_capacity: usize,
+        workers: usize,
+        build_threads: usize,
+        max_corpora: usize,
+        store: Option<Arc<SnapshotStore>>,
+        corpus_ttl: Option<Duration>,
+    ) -> Self {
+        let state = AppState {
             cache: AtlasCache::new(cache_capacity),
             flight: SingleFlight::new(),
             corpora: CorpusRegistry::new(max_corpora),
+            store,
+            corpus_ttl,
             builds: AtomicUsize::new(0),
             workers,
             build_threads,
             recent_timings: RwLock::new(VecDeque::with_capacity(RECENT_BUILDS)),
             metrics: MetricsRegistry::new(&router().labels()),
+        };
+        state.restore_corpora();
+        state
+    }
+
+    /// Re-register uploaded corpora persisted in the store, so digests
+    /// handed out before a restart keep working. Oldest first, so the
+    /// most recently persisted corpora win the registry's LRU cap when
+    /// there are more snapshots than slots. Generated corpora stay
+    /// disk-only — they are re-derivable from any atlas config and were
+    /// never addressable by digest.
+    fn restore_corpora(&self) {
+        let Some(store) = &self.store else { return };
+        let mut stored: Vec<_> = store
+            .corpora()
+            .into_iter()
+            .filter(|c| c.origin == CorpusOrigin::Uploaded)
+            .collect();
+        stored.sort_by(|a, b| {
+            a.modified
+                .cmp(&b.modified)
+                .then_with(|| a.digest.cmp(&b.digest))
+        });
+        for c in stored {
+            let Some(bytes) = store.load_corpus(&c.digest) else {
+                continue;
+            };
+            match snapshot::decode_corpus(&bytes) {
+                Ok(snap) => {
+                    let recipes = snap.db.recipe_count();
+                    let cuisines = snap.db.cuisines().count();
+                    self.corpora.insert(CorpusInfo {
+                        digest: snap.digest,
+                        db: Arc::new(snap.db),
+                        recipes,
+                        cuisines,
+                        bytes: snap.upload_bytes as usize,
+                        registered_at: c.modified,
+                    });
+                }
+                Err(_) => store.quarantine_corpus(&c.digest),
+            }
         }
     }
 
@@ -124,6 +196,11 @@ impl AppState {
         &self.corpora
     }
 
+    /// The persistent snapshot store, when one is configured.
+    pub fn store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.as_ref()
+    }
+
     /// Lifetime `(hits, misses)` of the atlas cache.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
@@ -138,8 +215,11 @@ impl AppState {
 
     /// The corpus selected by a request's `corpus` query parameter:
     /// `None` for the implicit synthetic corpus, the registered upload
-    /// for a known digest, and a 404 for an unknown one.
+    /// for a known digest, and a 404 for an unknown one. Expired
+    /// corpora are swept first, so a TTL'd digest 404s rather than
+    /// serving stale data.
     pub fn resolve_corpus(&self, request: &Request) -> Result<Option<Arc<CorpusInfo>>, ApiError> {
+        self.purge_expired();
         match request.query_param("corpus") {
             Some(digest) => self.corpora.get(digest).map(Some).ok_or_else(|| {
                 ApiError::not_found(format!(
@@ -148,6 +228,49 @@ impl AppState {
             }),
             None => Ok(None),
         }
+    }
+
+    /// Remove a corpus everywhere it lives: the registry, the atlas
+    /// cache, and the snapshot store (its corpus file plus every atlas
+    /// snapshot built from it).
+    pub fn purge_corpus(&self, digest: &str) -> CorpusRemoval {
+        let registered = self.corpora.remove(digest);
+        let cached_atlases = self.cache.remove_corpus(digest);
+        let (atlas_snapshots, corpus_snapshot) = match &self.store {
+            Some(store) => (
+                store.remove_atlases_for_corpus(digest),
+                store.remove_corpus(digest),
+            ),
+            None => (0, false),
+        };
+        CorpusRemoval {
+            registered,
+            cached_atlases,
+            atlas_snapshots,
+            corpus_snapshot,
+        }
+    }
+
+    /// Sweep uploaded corpora past the configured TTL (a lazy sweep run
+    /// by the endpoints that observe the registry). Returns how many
+    /// corpora expired.
+    pub fn purge_expired(&self) -> usize {
+        let Some(ttl) = self.corpus_ttl else { return 0 };
+        let now = SystemTime::now();
+        let expired: Vec<String> = self
+            .corpora
+            .infos()
+            .iter()
+            .filter(|i| {
+                now.duration_since(i.registered_at)
+                    .is_ok_and(|age| age > ttl)
+            })
+            .map(|i| i.digest.clone())
+            .collect();
+        for digest in &expired {
+            self.purge_corpus(digest);
+        }
+        expired.len()
     }
 
     /// The atlas for `config` over an explicit corpus (`None` = the
@@ -173,6 +296,13 @@ impl AppState {
         }
         self.metrics.record_cache_miss();
         let (atlas, led) = self.flight.work_flagged(&key, || {
+            // Tier 2: a disk snapshot. A restore touches none of the
+            // build counters — that absence is the warm-restart
+            // acceptance signal (`builds == 0` after a restart).
+            if let Some(restored) = self.try_restore(&key, corpus) {
+                return restored;
+            }
+            // Tier 3: a cold build, written through to the store.
             self.builds.fetch_add(1, Ordering::SeqCst);
             self.metrics.record_build();
             self.metrics.record_build_for_corpus(&match corpus {
@@ -193,13 +323,158 @@ impl AppState {
                 recent.pop_front();
             }
             recent.push_back(built.timings());
+            drop(recent);
+            self.persist_snapshot(&key, &built);
             built
         });
         if !led {
             self.metrics.record_dedup();
         }
-        self.cache.insert(key, Arc::clone(&atlas));
+        // Spill LRU evictions to disk so a hot cache can shrink without
+        // losing work (a no-op for snapshots already written through).
+        for (old_key, old_atlas) in self.cache.insert(key, Arc::clone(&atlas)) {
+            self.persist_snapshot(&old_key, &old_atlas);
+        }
         atlas
+    }
+
+    /// Try to satisfy a cache miss from a disk snapshot. Damaged files
+    /// are quarantined and `None` falls back to a cold build — a
+    /// corrupt store degrades to rebuild cost, never to an error
+    /// response.
+    fn try_restore(
+        &self,
+        key: &CacheKey,
+        corpus: Option<&Arc<CorpusInfo>>,
+    ) -> Option<CuisineAtlas> {
+        let store = self.store.as_ref()?;
+        let store_id = key.store_id();
+        let bytes = self.spanned("store/probe", || store.load_atlas(&store_id))?;
+        // Resolve the corpus the snapshot must be married to: the
+        // registered upload, or (for generator-backed atlases) the
+        // corpus snapshot the atlas references.
+        let (db, digest) = match corpus {
+            Some(info) => (Arc::clone(&info.db), info.digest.clone()),
+            None => {
+                let digest = match snapshot::peek_atlas(&bytes) {
+                    Ok(peek) => peek.corpus_digest,
+                    Err(_) => {
+                        store.quarantine_atlas(&store_id);
+                        return None;
+                    }
+                };
+                let corpus_bytes = store.load_corpus(&digest)?;
+                match snapshot::decode_corpus(&corpus_bytes) {
+                    Ok(snap) => (Arc::new(snap.db), digest),
+                    Err(_) => {
+                        store.quarantine_corpus(&digest);
+                        return None;
+                    }
+                }
+            }
+        };
+        match self.spanned("store/load", || {
+            snapshot::decode_atlas(&bytes, db, &digest, self.build_threads)
+        }) {
+            Ok(atlas) => Some(atlas),
+            Err(_) => {
+                store.quarantine_atlas(&store_id);
+                None
+            }
+        }
+    }
+
+    /// Persist a built atlas and, if missing, the corpus it was built
+    /// from. Best-effort: a failed disk write never fails the request
+    /// that triggered it.
+    fn persist_snapshot(&self, key: &CacheKey, atlas: &CuisineAtlas) {
+        let Some(store) = &self.store else { return };
+        let digest = match key.corpus_digest() {
+            Some(d) => d.to_string(),
+            None => recipedb::corpus_digest(atlas.db()),
+        };
+        // The corpus first, so no stored atlas ever references a corpus
+        // the store has no chance of holding.
+        if !store.contains_corpus(&digest) {
+            let (origin, upload_bytes) = match key.corpus_digest() {
+                Some(d) => (
+                    CorpusOrigin::Uploaded,
+                    self.corpora
+                        .infos()
+                        .iter()
+                        .find(|i| i.digest == d)
+                        .map_or(0, |i| i.bytes as u64),
+                ),
+                None => (CorpusOrigin::Generated, 0),
+            };
+            match snapshot::encode_corpus(atlas.db(), origin, upload_bytes) {
+                Ok(bytes) => {
+                    let _ = self.spanned("store/persist", || {
+                        store.persist_corpus(&digest, origin, &bytes)
+                    });
+                }
+                Err(_) => return,
+            }
+        }
+        let store_id = key.store_id();
+        if store.contains_atlas(&store_id) {
+            return;
+        }
+        let bytes = snapshot::encode_atlas(atlas, &digest);
+        let _ = self.spanned("store/persist", || {
+            store.persist_atlas(&store_id, &digest, &bytes)
+        });
+    }
+
+    /// Write-through persist of an uploaded corpus. Best-effort, like
+    /// every store write.
+    fn persist_corpus_snapshot(&self, info: &CorpusInfo) {
+        let Some(store) = &self.store else { return };
+        if store.contains_corpus(&info.digest) {
+            return;
+        }
+        if let Ok(bytes) =
+            snapshot::encode_corpus(&info.db, CorpusOrigin::Uploaded, info.bytes as u64)
+        {
+            let _ = self.spanned("store/persist", || {
+                store.persist_corpus(&info.digest, CorpusOrigin::Uploaded, &bytes)
+            });
+        }
+    }
+
+    /// Run `f`, reporting its wall time through the same span sink the
+    /// pipeline's build stages use — store I/O shows up next to
+    /// `stage/*` in `atlas_build_span_seconds`.
+    fn spanned<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.metrics
+            .record_span(name, start.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+}
+
+/// What a corpus purge (`DELETE /corpus/{digest}` or a TTL expiry)
+/// actually removed, across all three tiers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CorpusRemoval {
+    /// Whether the digest was registered in memory.
+    pub registered: bool,
+    /// Cached atlases dropped from the LRU cache.
+    pub cached_atlases: usize,
+    /// Atlas snapshot files deleted from disk.
+    pub atlas_snapshots: usize,
+    /// Whether a corpus snapshot file was deleted from disk.
+    pub corpus_snapshot: bool,
+}
+
+impl CorpusRemoval {
+    /// Whether anything was removed at all.
+    pub fn any(&self) -> bool {
+        self.registered
+            || self.cached_atlases > 0
+            || self.atlas_snapshots > 0
+            || self.corpus_snapshot
     }
 }
 
@@ -303,6 +578,7 @@ pub fn router() -> Router<AppState> {
         .get("/elbow", elbow)
         .get("/metrics", metrics)
         .post("/corpus", upload_corpus)
+        .delete("/corpus/:digest", delete_corpus)
         .post("/batch", batch)
 }
 
@@ -434,6 +710,7 @@ fn timings_json(t: &BuildTimings) -> serde_json::Value {
 }
 
 fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, ApiError> {
+    state.purge_expired();
     let (hits, misses) = state.cache.stats();
     let recent = state.recent_build_timings();
     let last_build_ms = recent.first().map(timings_json);
@@ -454,6 +731,44 @@ fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, Api
             }),
         );
     }
+    // Per-corpus accounting: in-memory footprint plus (when a store is
+    // configured) the disk footprint of each corpus and its atlases.
+    let mut corpora_json = Vec::new();
+    let mut corpus_memory_bytes: u64 = 0;
+    let mut corpus_disk_bytes: u64 = 0;
+    for info in state.corpora.infos() {
+        let disk = state
+            .store
+            .as_ref()
+            .map(|s| s.disk_usage_for(&info.digest))
+            .unwrap_or_default();
+        corpus_memory_bytes += info.bytes as u64;
+        corpus_disk_bytes += disk.corpus_bytes + disk.atlas_bytes;
+        corpora_json.push(json!({
+            "corpus": (info.digest.as_str()),
+            "recipes": (info.recipes),
+            "cuisines": (info.cuisines),
+            "memory_bytes": (info.bytes),
+            "disk_bytes": (disk.corpus_bytes + disk.atlas_bytes),
+            "atlas_snapshots": (disk.atlas_count),
+        }));
+    }
+    let store_json = state.store.as_ref().map(|s| {
+        let st = s.stats();
+        json!({
+            "data_dir": (s.root().display().to_string()),
+            "read_only": (s.read_only()),
+            "snapshot_hits": (st.hits),
+            "snapshot_misses": (st.misses),
+            "snapshot_writes": (st.writes),
+            "snapshot_corrupt": (st.corrupt),
+            "snapshot_evictions": (st.evictions),
+            "atlas_files": (st.atlas_files),
+            "corpus_files": (st.corpus_files),
+            "disk_bytes": (st.total_bytes()),
+            "max_disk_bytes": (st.max_disk_bytes),
+        })
+    });
     ok_json(&json!({
         "status": "ok",
         "workers": (state.workers),
@@ -465,6 +780,10 @@ fn health(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, Api
         "last_build_ms": last_build_ms,
         "recent_builds_ms": recent_builds_ms,
         "latency_ms": (serde_json::Value::Object(latency_ms)),
+        "corpora": (corpora_json),
+        "corpus_memory_bytes": corpus_memory_bytes,
+        "corpus_disk_bytes": corpus_disk_bytes,
+        "store": store_json,
     }))
 }
 
@@ -472,7 +791,7 @@ fn metrics(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, Ap
     // Gauges owned by the cache, appended to the registry's rendering
     // so /metrics is the one-stop scrape target.
     let (hits, misses) = state.cache.stats();
-    let extra = format!(
+    let mut extra = format!(
         "# HELP atlas_cached_atlases Atlases currently in the LRU cache.\n\
          # TYPE atlas_cached_atlases gauge\n\
          atlas_cached_atlases {}\n\
@@ -484,6 +803,47 @@ fn metrics(state: &AppState, _: &Request, _: &PathParams) -> Result<Response, Ap
          atlas_cache_lookup_misses_total {misses}\n",
         state.cache.len(),
     );
+    if let Some(store) = &state.store {
+        let st = store.stats();
+        extra.push_str(&format!(
+            "# HELP atlas_store_snapshot_hits_total Disk snapshot loads that found a file.\n\
+             # TYPE atlas_store_snapshot_hits_total counter\n\
+             atlas_store_snapshot_hits_total {}\n\
+             # HELP atlas_store_snapshot_misses_total Disk snapshot loads that found nothing.\n\
+             # TYPE atlas_store_snapshot_misses_total counter\n\
+             atlas_store_snapshot_misses_total {}\n\
+             # HELP atlas_store_snapshot_writes_total Snapshot files written.\n\
+             # TYPE atlas_store_snapshot_writes_total counter\n\
+             atlas_store_snapshot_writes_total {}\n\
+             # HELP atlas_store_snapshot_corrupt_total Snapshot files quarantined as damaged.\n\
+             # TYPE atlas_store_snapshot_corrupt_total counter\n\
+             atlas_store_snapshot_corrupt_total {}\n\
+             # HELP atlas_store_snapshot_evictions_total Snapshot files evicted by the disk budget.\n\
+             # TYPE atlas_store_snapshot_evictions_total counter\n\
+             atlas_store_snapshot_evictions_total {}\n\
+             # HELP atlas_store_atlas_files Atlas snapshot files currently stored.\n\
+             # TYPE atlas_store_atlas_files gauge\n\
+             atlas_store_atlas_files {}\n\
+             # HELP atlas_store_corpus_files Corpus snapshot files currently stored.\n\
+             # TYPE atlas_store_corpus_files gauge\n\
+             atlas_store_corpus_files {}\n\
+             # HELP atlas_store_disk_bytes Bytes currently stored across snapshots.\n\
+             # TYPE atlas_store_disk_bytes gauge\n\
+             atlas_store_disk_bytes {}\n\
+             # HELP atlas_store_max_disk_bytes Configured disk budget (0 = unbounded).\n\
+             # TYPE atlas_store_max_disk_bytes gauge\n\
+             atlas_store_max_disk_bytes {}\n",
+            st.hits,
+            st.misses,
+            st.writes,
+            st.corrupt,
+            st.evictions,
+            st.atlas_files,
+            st.corpus_files,
+            st.total_bytes(),
+            st.max_disk_bytes,
+        ));
+    }
     Ok(Response {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -600,14 +960,37 @@ fn register_corpus(state: &AppState, request: &Request) -> Result<Response, ApiE
         recipes,
         cuisines,
         bytes: request.body.len(),
+        registered_at: SystemTime::now(),
     });
     state.metrics().record_corpus_upload();
+    if created {
+        state.persist_corpus_snapshot(&info);
+    }
     ok_json(&json!({
         "corpus": (info.digest.as_str()),
         "recipes": (info.recipes),
         "cuisines": (info.cuisines),
         "bytes": (info.bytes),
         "already_registered": (!created),
+    }))
+}
+
+/// `DELETE /corpus/{digest}`: remove an uploaded corpus from the
+/// registry, the atlas cache, and the snapshot store — after this, the
+/// digest 404s and nothing of it remains on disk.
+fn delete_corpus(state: &AppState, _: &Request, params: &PathParams) -> Result<Response, ApiError> {
+    state.purge_expired();
+    let digest = params.get("digest").unwrap_or_default();
+    let removal = state.purge_corpus(digest);
+    if !removal.any() {
+        return Err(ApiError::not_found(format!("unknown corpus {digest:?}")));
+    }
+    ok_json(&json!({
+        "corpus": digest,
+        "registered": (removal.registered),
+        "cached_atlases": (removal.cached_atlases),
+        "atlas_snapshots": (removal.atlas_snapshots),
+        "corpus_snapshot": (removal.corpus_snapshot),
     }))
 }
 

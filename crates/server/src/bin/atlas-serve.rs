@@ -3,33 +3,46 @@
 //! ```text
 //! atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--cache-capacity N] [--build-threads N]
-//!             [--prewarm SEED[,SEED...]] [--access-log]
+//!             [--prewarm SPEC[,SPEC...]] [--access-log]
 //!             [--max-corpus-bytes N] [--max-corpora N]
+//!             [--data-dir DIR] [--max-disk-bytes N] [--no-persist]
+//!             [--corpus-ttl-secs N]
 //! ```
 //!
-//! `--prewarm` builds the quick atlas for each listed seed before
-//! accepting connections, so first requests are cache hits.
-//! `--build-threads` caps the worker threads used per cold atlas build
-//! (default: all available cores); the built atlases are bit-for-bit
-//! identical for every thread count. `--access-log` writes one JSON
-//! line per served request to stdout; scrape `/metrics` for Prometheus
-//! counters and latency histograms. `--max-corpus-bytes` caps the
-//! `POST /corpus` upload size (413 beyond it) and `--max-corpora`
-//! bounds how many uploaded corpora are kept before LRU eviction.
+//! `--prewarm` warms the cache before accepting connections; each spec
+//! is either a generator seed (`--prewarm 23,24`) or `corpus=<digest>`
+//! naming an uploaded corpus restored from the data dir. With
+//! `--data-dir` the server persists every built atlas and uploaded
+//! corpus as checksummed snapshots and restores them on restart, so a
+//! warm restart serves its first queries from disk with zero rebuilds;
+//! `--max-disk-bytes` bounds the store (LRU eviction, 0 = unbounded)
+//! and `--no-persist` serves warm reads without writing anything new.
+//! `--corpus-ttl-secs` expires uploaded corpora (memory and disk) that
+//! many seconds after registration. `--build-threads` caps the worker
+//! threads used per cold atlas build (default: all available cores);
+//! the built atlases are bit-for-bit identical for every thread count.
+//! `--access-log` writes one JSON line per served request to stdout;
+//! scrape `/metrics` for Prometheus counters and latency histograms.
+//! `--max-corpus-bytes` caps the `POST /corpus` upload size (413 beyond
+//! it) and `--max-corpora` bounds how many uploaded corpora are kept
+//! before LRU eviction.
 
+use atlas_server::handle::PrewarmSpec;
 use atlas_server::{handle, ServerConfig, ServerHandle};
-use cuisine_atlas::pipeline::AtlasConfig;
 
 struct Options {
     config: ServerConfig,
-    prewarm_seeds: Vec<u64>,
+    prewarm: Vec<PrewarmSpec>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: atlas-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--cache-capacity N] [--build-threads N] [--prewarm SEED[,SEED...]] \
-         [--access-log] [--max-corpus-bytes N] [--max-corpora N]"
+         [--cache-capacity N] [--build-threads N] [--prewarm SPEC[,SPEC...]] \
+         [--access-log] [--max-corpus-bytes N] [--max-corpora N] \
+         [--data-dir DIR] [--max-disk-bytes N] [--no-persist] [--corpus-ttl-secs N]\n\
+         \n\
+         prewarm SPEC is a generator seed (e.g. 23) or corpus=<digest>"
     );
     std::process::exit(2);
 }
@@ -40,7 +53,7 @@ fn parse_options() -> Options {
             addr: "127.0.0.1:8091".to_string(),
             ..ServerConfig::default()
         },
-        prewarm_seeds: Vec::new(),
+        prewarm: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -66,9 +79,9 @@ fn parse_options() -> Options {
                     parse_num(&value("--build-threads"), "--build-threads")
             }
             "--prewarm" => {
-                options.prewarm_seeds = value("--prewarm")
+                options.prewarm = value("--prewarm")
                     .split(',')
-                    .map(|s| parse_num(s, "--prewarm"))
+                    .map(parse_prewarm_spec)
                     .collect()
             }
             "--access-log" => options.config.access_log = true,
@@ -79,6 +92,18 @@ fn parse_options() -> Options {
             "--max-corpora" => {
                 options.config.max_corpora = parse_num(&value("--max-corpora"), "--max-corpora")
             }
+            "--data-dir" => {
+                options.config.data_dir = Some(std::path::PathBuf::from(value("--data-dir")))
+            }
+            "--max-disk-bytes" => {
+                options.config.max_disk_bytes =
+                    parse_num(&value("--max-disk-bytes"), "--max-disk-bytes")
+            }
+            "--no-persist" => options.config.persist = false,
+            "--corpus-ttl-secs" => {
+                options.config.corpus_ttl_secs =
+                    Some(parse_num(&value("--corpus-ttl-secs"), "--corpus-ttl-secs"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -87,6 +112,18 @@ fn parse_options() -> Options {
         }
     }
     options
+}
+
+/// A `--prewarm` spec: a bare generator seed, or `corpus=<digest>`.
+fn parse_prewarm_spec(s: &str) -> PrewarmSpec {
+    if let Some(digest) = s.strip_prefix("corpus=") {
+        if digest.is_empty() {
+            eprintln!("bad value for --prewarm: empty corpus digest");
+            usage();
+        }
+        return PrewarmSpec::Corpus(digest.to_string());
+    }
+    PrewarmSpec::Seed(parse_num(s, "--prewarm"))
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
@@ -104,19 +141,25 @@ fn main() {
     let server = match ServerHandle::start(options.config.clone()) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("failed to bind {}: {e}", options.config.addr);
+            eprintln!("failed to start on {}: {e}", options.config.addr);
             std::process::exit(1);
         }
     };
-    if !options.prewarm_seeds.is_empty() {
-        let configs: Vec<AtlasConfig> = options
-            .prewarm_seeds
-            .iter()
-            .map(|&seed| AtlasConfig::quick(seed))
-            .collect();
-        eprintln!("prewarming {} atlas build(s)...", configs.len());
-        handle::prewarm(server.state(), &configs);
-        eprintln!("prewarm done ({} built)", server.build_count());
+    if let Some(dir) = &options.config.data_dir {
+        println!(
+            "snapshot store at {} ({})",
+            dir.display(),
+            if options.config.persist {
+                "read-write"
+            } else {
+                "read-only"
+            },
+        );
+    }
+    if !options.prewarm.is_empty() {
+        eprintln!("prewarming {} atlas(es)...", options.prewarm.len());
+        handle::prewarm_specs(server.state(), &options.prewarm);
+        eprintln!("prewarm done ({} built cold)", server.build_count());
     }
     println!(
         "atlas-serve listening on http://{} ({} workers, cache capacity {})",

@@ -69,6 +69,39 @@ impl CacheKey {
             linkage: config.linkage.name(),
         }
     }
+
+    /// The uploaded-corpus digest this key is bound to, if any.
+    pub fn corpus_digest(&self) -> Option<&str> {
+        self.corpus.as_deref()
+    }
+
+    /// The key's durable identity: a SHA-256 over a canonical,
+    /// length-prefixed encoding of every field. This is the snapshot
+    /// store's file name for the atlas this key builds — stable across
+    /// processes and restarts (unlike `Hash`, whose hasher is not
+    /// portable), and never colliding between corpus-backed and
+    /// implicit keys.
+    pub fn store_id(&self) -> String {
+        let mut buf: Vec<u8> = Vec::with_capacity(128);
+        buf.extend_from_slice(b"atlas-cache-key-v1\0");
+        match &self.corpus {
+            Some(digest) => {
+                buf.push(1);
+                buf.extend_from_slice(&(digest.len() as u64).to_le_bytes());
+                buf.extend_from_slice(digest.as_bytes());
+            }
+            None => buf.push(0),
+        }
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        buf.extend_from_slice(&self.scale_bits.to_le_bytes());
+        buf.extend_from_slice(&(self.min_recipes_per_cuisine as u64).to_le_bytes());
+        buf.extend_from_slice(&self.min_support_bits.to_le_bytes());
+        buf.extend_from_slice(&self.generic_fraction_bits.to_le_bytes());
+        buf.extend_from_slice(&(self.top_k as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.linkage.len() as u64).to_le_bytes());
+        buf.extend_from_slice(self.linkage.as_bytes());
+        recipedb::digest::Sha256::hex_digest(&buf)
+    }
 }
 
 struct Entry<V> {
@@ -121,8 +154,10 @@ impl<V> AtlasCache<V> {
     }
 
     /// Insert a value, evicting globally-least-recently-used entries
-    /// while the cache is over its total capacity.
-    pub fn insert(&self, key: CacheKey, value: Arc<V>) {
+    /// while the cache is over its total capacity. The evicted entries
+    /// are returned so the caller can spill them to the snapshot store
+    /// instead of losing the build outright.
+    pub fn insert(&self, key: CacheKey, value: Arc<V>) -> Vec<(CacheKey, Arc<V>)> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         self.shard(&key).write().unwrap().insert(
             key,
@@ -131,6 +166,7 @@ impl<V> AtlasCache<V> {
                 last_used: now,
             },
         );
+        let mut evicted = Vec::new();
         while self.len() > self.capacity {
             // Find the globally-oldest entry (reads), then remove it
             // (write). A concurrent hit can bump it in between — then
@@ -147,10 +183,35 @@ impl<V> AtlasCache<V> {
                 })
                 .min_by_key(|&(_, used)| used);
             match oldest {
-                Some((k, _)) => self.shard(&k).write().unwrap().remove(&k),
+                Some((k, _)) => {
+                    if let Some(entry) = self.shard(&k).write().unwrap().remove(&k) {
+                        evicted.push((k, entry.value));
+                    }
+                }
                 None => break,
             };
         }
+        evicted
+    }
+
+    /// Drop every cached atlas built from the uploaded corpus `digest`
+    /// (the `DELETE /corpus/{digest}` path); returns how many were
+    /// removed.
+    pub fn remove_corpus(&self, digest: &str) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap();
+            let doomed: Vec<CacheKey> = shard
+                .keys()
+                .filter(|k| k.corpus_digest() == Some(digest))
+                .cloned()
+                .collect();
+            for k in doomed {
+                shard.remove(&k);
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Number of cached atlases across all shards.
@@ -222,14 +283,51 @@ mod tests {
     }
 
     #[test]
+    fn store_ids_are_stable_hex_and_distinct() {
+        let implicit = CacheKey::from_config(&AtlasConfig::quick(7));
+        let uploaded = CacheKey::for_corpus("abc123", &AtlasConfig::quick(7));
+        assert_eq!(implicit.store_id(), implicit.clone().store_id());
+        assert_ne!(implicit.store_id(), uploaded.store_id());
+        assert_ne!(
+            implicit.store_id(),
+            CacheKey::from_config(&AtlasConfig::quick(8)).store_id()
+        );
+        assert_eq!(implicit.store_id().len(), 64);
+        assert!(implicit.store_id().bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(uploaded.corpus_digest(), Some("abc123"));
+        assert_eq!(implicit.corpus_digest(), None);
+    }
+
+    #[test]
+    fn remove_corpus_drops_only_that_corpus() {
+        let cache = AtlasCache::<u64>::new(8);
+        cache.insert(key(1), Arc::new(10));
+        cache.insert(
+            CacheKey::for_corpus("abc123", &AtlasConfig::quick(1)),
+            Arc::new(20),
+        );
+        let mut other = AtlasConfig::quick(1);
+        other.min_support += 0.05;
+        cache.insert(CacheKey::for_corpus("abc123", &other), Arc::new(30));
+        assert_eq!(cache.remove_corpus("abc123"), 2);
+        assert_eq!(cache.remove_corpus("abc123"), 0);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
     fn eviction_is_global_and_least_recently_used() {
         let cache = AtlasCache::<u64>::new(2);
         cache.insert(key(1), Arc::new(10));
         cache.insert(key(2), Arc::new(20));
         // Touch key 1 so key 2 becomes the LRU entry, then overflow.
         cache.get(&key(1));
-        cache.insert(key(3), Arc::new(30));
+        let evicted = cache.insert(key(3), Arc::new(30));
         assert_eq!(cache.len(), 2, "total capacity holds across shards");
+        // The spilled entry is handed back to the caller.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, key(2));
+        assert_eq!(*evicted[0].1, 20);
         assert_eq!(*cache.get(&key(1)).unwrap(), 10);
         assert!(cache.get(&key(2)).is_none(), "LRU entry was evicted");
         assert_eq!(*cache.get(&key(3)).unwrap(), 30);

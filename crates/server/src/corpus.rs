@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::SystemTime;
 
 use recipedb::RecipeDb;
 
@@ -28,6 +29,10 @@ pub struct CorpusInfo {
     pub cuisines: usize,
     /// Size of the uploaded JSON body, in bytes.
     pub bytes: usize,
+    /// When the corpus entered the registry — the upload time, or the
+    /// snapshot file's mtime after a warm restart. Drives the optional
+    /// corpus TTL.
+    pub registered_at: SystemTime,
 }
 
 struct Slot {
@@ -98,6 +103,21 @@ impl CorpusRegistry {
         })
     }
 
+    /// Remove a corpus by digest (the `DELETE /corpus/{digest}` path
+    /// and the TTL sweep). Returns whether it was registered.
+    pub fn remove(&self, digest: &str) -> bool {
+        self.slots.write().unwrap().remove(digest).is_some()
+    }
+
+    /// Every registered corpus, sorted by digest, without stamping
+    /// recency (used for `/health` accounting and the TTL sweep).
+    pub fn infos(&self) -> Vec<Arc<CorpusInfo>> {
+        let slots = self.slots.read().unwrap();
+        let mut infos: Vec<Arc<CorpusInfo>> = slots.values().map(|s| Arc::clone(&s.info)).collect();
+        infos.sort_by(|a, b| a.digest.cmp(&b.digest));
+        infos
+    }
+
     /// Number of registered corpora.
     pub fn len(&self) -> usize {
         self.slots.read().unwrap().len()
@@ -125,7 +145,21 @@ mod tests {
             recipes: 0,
             cuisines: 0,
             bytes: 2,
+            registered_at: SystemTime::now(),
         }
+    }
+
+    #[test]
+    fn remove_and_infos_round_out_the_registry() {
+        let reg = CorpusRegistry::new(4);
+        reg.insert(info("d2"));
+        reg.insert(info("d1"));
+        let listed: Vec<String> = reg.infos().iter().map(|i| i.digest.clone()).collect();
+        assert_eq!(listed, ["d1", "d2"], "infos are digest-sorted");
+        assert!(reg.remove("d1"));
+        assert!(!reg.remove("d1"), "second remove is a no-op");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("d1").is_none());
     }
 
     #[test]

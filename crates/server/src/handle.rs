@@ -44,11 +44,25 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let state = Arc::new(AppState::with_limits(
+        // A data dir makes the server persistent: snapshots are served
+        // warm from disk and (unless --no-persist) written through.
+        let store = match &config.data_dir {
+            Some(dir) => Some(Arc::new(atlas_store::SnapshotStore::open(
+                atlas_store::StoreConfig {
+                    root: dir.clone(),
+                    max_disk_bytes: config.max_disk_bytes,
+                    read_only: !config.persist,
+                },
+            )?)),
+            None => None,
+        };
+        let state = Arc::new(AppState::with_persistence(
             config.cache_capacity,
             config.workers,
             config.build_threads,
             config.max_corpora,
+            store,
+            config.corpus_ttl_secs.map(Duration::from_secs),
         ));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -133,6 +147,20 @@ impl ServerHandle {
             written?;
             read?;
         }
+        parse_client_response(&raw)
+    }
+
+    /// Minimal blocking client: `DELETE` a path and return
+    /// `(status, body)`.
+    pub fn delete(&self, path_and_query: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        write!(
+            stream,
+            "DELETE {path_and_query} HTTP/1.1\r\nHost: atlas\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
         parse_client_response(&raw)
     }
 
@@ -364,6 +392,36 @@ fn write_access_log(
 pub fn prewarm(state: &AppState, configs: &[cuisine_atlas::pipeline::AtlasConfig]) {
     for config in configs {
         let _ = state.atlas(config);
+    }
+}
+
+/// One `--prewarm` spec: a generator seed, or `corpus=<digest>` naming
+/// an uploaded corpus restored from the snapshot store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrewarmSpec {
+    /// Warm the quick synthetic atlas for this seed.
+    Seed(u64),
+    /// Warm the default-config atlas over a registered corpus digest.
+    Corpus(String),
+}
+
+/// Prewarm from parsed `--prewarm` specs. A `corpus=` digest that is
+/// not registered (nothing restored it from the store) is skipped with
+/// a warning rather than failing startup.
+pub fn prewarm_specs(state: &AppState, specs: &[PrewarmSpec]) {
+    for spec in specs {
+        match spec {
+            PrewarmSpec::Seed(seed) => {
+                let _ = state.atlas(&cuisine_atlas::pipeline::AtlasConfig::quick(*seed));
+            }
+            PrewarmSpec::Corpus(digest) => match state.corpora().get(digest) {
+                Some(info) => {
+                    let config = cuisine_atlas::pipeline::AtlasConfig::quick(23);
+                    let _ = state.atlas_for(Some(&info), &config);
+                }
+                None => eprintln!("prewarm: unknown corpus {digest:?}, skipping"),
+            },
+        }
     }
 }
 

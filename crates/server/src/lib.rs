@@ -60,6 +60,20 @@ pub struct ServerConfig {
     /// Uploaded corpora kept in the registry; beyond it the
     /// least-recently-used corpus is evicted.
     pub max_corpora: usize,
+    /// Directory for the persistent snapshot store (`--data-dir`).
+    /// `None` disables persistence entirely — the PR-1 in-memory-only
+    /// behaviour.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Disk budget for the snapshot store in bytes
+    /// (`--max-disk-bytes`); 0 = unbounded.
+    pub max_disk_bytes: u64,
+    /// When `false` (`--no-persist`), the store serves warm reads from
+    /// `data_dir` but never writes new snapshots.
+    pub persist: bool,
+    /// Drop uploaded corpora (registry entry, cached atlases, and disk
+    /// snapshots) this many seconds after registration
+    /// (`--corpus-ttl-secs`); `None` keeps them until evicted.
+    pub corpus_ttl_secs: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +87,10 @@ impl Default for ServerConfig {
             access_log: false,
             max_corpus_bytes: 64 * 1024 * 1024,
             max_corpora: 8,
+            data_dir: None,
+            max_disk_bytes: 0,
+            persist: true,
+            corpus_ttl_secs: None,
         }
     }
 }

@@ -95,6 +95,14 @@ impl<C> Router<C> {
         self.route("POST", pattern, handler)
     }
 
+    /// Shorthand for a DELETE route.
+    pub fn delete<H>(self, pattern: &'static str, handler: H) -> Self
+    where
+        H: Fn(&C, &Request, &PathParams) -> Result<Response, ApiError> + Send + Sync + 'static,
+    {
+        self.route("DELETE", pattern, handler)
+    }
+
     /// The registered route patterns, registration order.
     pub fn labels(&self) -> Vec<&'static str> {
         self.routes.iter().map(|r| r.pattern).collect()

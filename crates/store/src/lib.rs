@@ -1,0 +1,841 @@
+//! `atlas-store` — a content-addressed disk store for cuisine-atlas
+//! snapshots.
+//!
+//! The store owns one directory (the server's `--data-dir`) with three
+//! children:
+//!
+//! ```text
+//! <root>/atlases/<store-id>.atlas     one file per built atlas
+//! <root>/corpora/<digest>.corpus      one file per corpus
+//! <root>/quarantine/                  damaged files, kept for forensics
+//! ```
+//!
+//! Files are **content-addressed**: a corpus file is named by its
+//! semantic [`corpus digest`](recipedb::digest::corpus_digest) and an
+//! atlas file by the server's cache-key id, so identical content lands
+//! on identical paths and a re-persist is a no-op. Writes are atomic
+//! (`.tmp` + fsync + rename) — a crash mid-persist leaves a `.tmp`
+//! orphan that the next [`SnapshotStore::open`] sweeps away, never a
+//! half-written live file. Files that fail validation (at the boot scan
+//! or on a later load/decode) are moved to `quarantine/` and counted,
+//! so the serving layer falls back to a rebuild instead of crashing.
+//!
+//! A disk budget (`max_disk_bytes`, 0 = unbounded) is enforced after
+//! every write by evicting least-recently-used atlases first, then
+//! least-recently-used corpora that no remaining atlas references —
+//! never a corpus that stored atlases still need to decode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+use cuisine_atlas::snapshot::{self, CorpusOrigin};
+
+const ATLAS_EXT: &str = "atlas";
+const CORPUS_EXT: &str = "corpus";
+const TMP_EXT: &str = "tmp";
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the store (created if absent).
+    pub root: PathBuf,
+    /// Disk budget in bytes across atlases + corpora; `0` disables the
+    /// budget.
+    pub max_disk_bytes: u64,
+    /// Serve warm reads but never write, evict, or quarantine-on-load
+    /// (the server's `--no-persist` flag).
+    pub read_only: bool,
+}
+
+/// Counter and gauge snapshot of the store, rendered into `/metrics`
+/// and `/health`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Snapshot loads that found a file.
+    pub hits: u64,
+    /// Snapshot loads that found nothing.
+    pub misses: u64,
+    /// Snapshot files written.
+    pub writes: u64,
+    /// Files quarantined as damaged (boot scan + load/decode failures).
+    pub corrupt: u64,
+    /// Files evicted to stay under the disk budget.
+    pub evictions: u64,
+    /// Atlas snapshot files currently stored.
+    pub atlas_files: u64,
+    /// Corpus snapshot files currently stored.
+    pub corpus_files: u64,
+    /// Bytes in atlas snapshot files.
+    pub atlas_bytes: u64,
+    /// Bytes in corpus snapshot files.
+    pub corpus_bytes: u64,
+    /// The configured disk budget (0 = unbounded).
+    pub max_disk_bytes: u64,
+}
+
+impl StoreStats {
+    /// Total bytes currently stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.atlas_bytes + self.corpus_bytes
+    }
+}
+
+/// One persisted corpus, as listed by [`SnapshotStore::corpora`] for
+/// the warm-restart registry restore.
+#[derive(Debug, Clone)]
+pub struct StoredCorpus {
+    /// The corpus digest (also the file stem).
+    pub digest: String,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+    /// Provenance recorded in the snapshot.
+    pub origin: CorpusOrigin,
+    /// File modification time — stands in for the original registration
+    /// time after a restart (drives the corpus TTL).
+    pub modified: SystemTime,
+}
+
+/// Disk footprint of one corpus and its dependent atlases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorpusDiskUsage {
+    /// Bytes of the corpus snapshot itself (0 if not persisted).
+    pub corpus_bytes: u64,
+    /// Bytes across atlas snapshots built from this corpus.
+    pub atlas_bytes: u64,
+    /// Number of atlas snapshots built from this corpus.
+    pub atlas_count: u64,
+}
+
+#[derive(Debug)]
+struct AtlasEntry {
+    bytes: u64,
+    corpus: String,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct CorpusEntry {
+    bytes: u64,
+    origin: CorpusOrigin,
+    modified: SystemTime,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    atlases: HashMap<String, AtlasEntry>,
+    corpora: HashMap<String, CorpusEntry>,
+    clock: u64,
+}
+
+impl Index {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.atlases.values().map(|e| e.bytes).sum::<u64>()
+            + self.corpora.values().map(|e| e.bytes).sum::<u64>()
+    }
+}
+
+/// The content-addressed snapshot store.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    config: StoreConfig,
+    index: Mutex<Index>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Open (creating if needed) the store at `config.root`, sweeping
+    /// crash leftovers and quarantining any file that fails validation.
+    ///
+    /// Every existing snapshot is checksum-verified here — the boot
+    /// scan is what makes a warm restart trustworthy — and the LRU
+    /// clock is seeded from file modification times, so eviction order
+    /// survives restarts.
+    pub fn open(config: StoreConfig) -> io::Result<Self> {
+        fs::create_dir_all(config.root.join("atlases"))?;
+        fs::create_dir_all(config.root.join("corpora"))?;
+        fs::create_dir_all(config.root.join("quarantine"))?;
+
+        let store = SnapshotStore {
+            config,
+            index: Mutex::new(Index::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        store.scan()?;
+        if !store.config.read_only {
+            let mut index = store.index.lock().unwrap();
+            store.enforce_budget(&mut index);
+        }
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.config.root
+    }
+
+    /// Whether the store is in read-only (`--no-persist`) mode.
+    pub fn read_only(&self) -> bool {
+        self.config.read_only
+    }
+
+    fn atlas_path(&self, store_id: &str) -> PathBuf {
+        self.config
+            .root
+            .join("atlases")
+            .join(format!("{store_id}.{ATLAS_EXT}"))
+    }
+
+    fn corpus_path(&self, digest: &str) -> PathBuf {
+        self.config
+            .root
+            .join("corpora")
+            .join(format!("{digest}.{CORPUS_EXT}"))
+    }
+
+    /// Scan both snapshot directories: drop `.tmp` orphans, quarantine
+    /// invalid files, index the rest in mtime order (oldest first) so
+    /// the LRU clock reflects pre-restart recency.
+    fn scan(&self) -> io::Result<()> {
+        let mut found: Vec<(SystemTime, PathBuf, bool)> = Vec::new();
+        for (dir, is_atlas) in [("atlases", true), ("corpora", false)] {
+            for entry in fs::read_dir(self.config.root.join(dir))? {
+                let path = entry?.path();
+                if !path.is_file() {
+                    continue;
+                }
+                let ext = path.extension().and_then(|e| e.to_str());
+                if ext == Some(TMP_EXT) {
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+                if ext != Some(if is_atlas { ATLAS_EXT } else { CORPUS_EXT }) {
+                    continue;
+                }
+                let modified = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .unwrap_or(SystemTime::UNIX_EPOCH);
+                found.push((modified, path, is_atlas));
+            }
+        }
+        found.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        let mut index = self.index.lock().unwrap();
+        for (modified, path, is_atlas) in found {
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                self.quarantine_file(&path);
+                continue;
+            };
+            let Ok(bytes) = fs::read(&path) else {
+                self.quarantine_file(&path);
+                continue;
+            };
+            if is_atlas {
+                match snapshot::peek_atlas(&bytes) {
+                    Ok(peek) => {
+                        let last_used = index.tick();
+                        index.atlases.insert(
+                            stem,
+                            AtlasEntry {
+                                bytes: bytes.len() as u64,
+                                corpus: peek.corpus_digest,
+                                last_used,
+                            },
+                        );
+                    }
+                    Err(_) => self.quarantine_file(&path),
+                }
+            } else {
+                match snapshot::peek_corpus(&bytes) {
+                    Ok(peek) if peek.digest == stem => {
+                        let last_used = index.tick();
+                        index.corpora.insert(
+                            stem,
+                            CorpusEntry {
+                                bytes: bytes.len() as u64,
+                                origin: peek.origin,
+                                modified,
+                                last_used,
+                            },
+                        );
+                    }
+                    _ => self.quarantine_file(&path),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- atlases ------------------------------------------------------
+
+    /// Whether an atlas snapshot is stored under `store_id`.
+    pub fn contains_atlas(&self, store_id: &str) -> bool {
+        self.index.lock().unwrap().atlases.contains_key(store_id)
+    }
+
+    /// Read an atlas snapshot's bytes, counting a hit or miss. An
+    /// unreadable file is quarantined on the spot (unless read-only)
+    /// and reported as a miss.
+    pub fn load_atlas(&self, store_id: &str) -> Option<Vec<u8>> {
+        self.load(store_id, true)
+    }
+
+    /// Persist an atlas snapshot under `store_id`, recording which
+    /// corpus it depends on (the budget never evicts a corpus out from
+    /// under its atlases). Returns `false` without writing when the
+    /// store is read-only or the file already exists.
+    pub fn persist_atlas(
+        &self,
+        store_id: &str,
+        corpus_digest: &str,
+        bytes: &[u8],
+    ) -> io::Result<bool> {
+        if self.config.read_only {
+            return Ok(false);
+        }
+        let mut index = self.index.lock().unwrap();
+        if index.atlases.contains_key(store_id) {
+            return Ok(false);
+        }
+        write_atomic(&self.atlas_path(store_id), bytes)?;
+        let last_used = index.tick();
+        index.atlases.insert(
+            store_id.to_string(),
+            AtlasEntry {
+                bytes: bytes.len() as u64,
+                corpus: corpus_digest.to_string(),
+                last_used,
+            },
+        );
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(&mut index);
+        Ok(true)
+    }
+
+    /// Quarantine a stored atlas snapshot that failed to decode.
+    pub fn quarantine_atlas(&self, store_id: &str) {
+        let mut index = self.index.lock().unwrap();
+        index.atlases.remove(store_id);
+        self.quarantine_file(&self.atlas_path(store_id));
+    }
+
+    /// Remove every stored atlas built from `corpus_digest`; returns
+    /// how many were removed.
+    pub fn remove_atlases_for_corpus(&self, corpus_digest: &str) -> usize {
+        let mut index = self.index.lock().unwrap();
+        let doomed: Vec<String> = index
+            .atlases
+            .iter()
+            .filter(|(_, e)| e.corpus == corpus_digest)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &doomed {
+            index.atlases.remove(id);
+            let _ = fs::remove_file(self.atlas_path(id));
+        }
+        doomed.len()
+    }
+
+    // -- corpora ------------------------------------------------------
+
+    /// Whether a corpus snapshot is stored under `digest`.
+    pub fn contains_corpus(&self, digest: &str) -> bool {
+        self.index.lock().unwrap().corpora.contains_key(digest)
+    }
+
+    /// Read a corpus snapshot's bytes, counting a hit or miss.
+    pub fn load_corpus(&self, digest: &str) -> Option<Vec<u8>> {
+        self.load(digest, false)
+    }
+
+    /// Persist a corpus snapshot under its digest. Returns `false`
+    /// without writing when the store is read-only or the file already
+    /// exists (content-addressing makes re-persists no-ops).
+    pub fn persist_corpus(
+        &self,
+        digest: &str,
+        origin: CorpusOrigin,
+        bytes: &[u8],
+    ) -> io::Result<bool> {
+        if self.config.read_only {
+            return Ok(false);
+        }
+        let mut index = self.index.lock().unwrap();
+        if index.corpora.contains_key(digest) {
+            return Ok(false);
+        }
+        write_atomic(&self.corpus_path(digest), bytes)?;
+        let last_used = index.tick();
+        index.corpora.insert(
+            digest.to_string(),
+            CorpusEntry {
+                bytes: bytes.len() as u64,
+                origin,
+                modified: SystemTime::now(),
+                last_used,
+            },
+        );
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(&mut index);
+        Ok(true)
+    }
+
+    /// Quarantine a stored corpus snapshot that failed to decode.
+    pub fn quarantine_corpus(&self, digest: &str) {
+        let mut index = self.index.lock().unwrap();
+        index.corpora.remove(digest);
+        self.quarantine_file(&self.corpus_path(digest));
+    }
+
+    /// Remove a stored corpus snapshot (the `DELETE /corpus/{digest}`
+    /// path — callers remove its atlases too). Returns whether a file
+    /// was removed.
+    pub fn remove_corpus(&self, digest: &str) -> bool {
+        let mut index = self.index.lock().unwrap();
+        let had = index.corpora.remove(digest).is_some();
+        if had {
+            let _ = fs::remove_file(self.corpus_path(digest));
+        }
+        had
+    }
+
+    /// Every stored corpus, for the boot-time registry restore.
+    pub fn corpora(&self) -> Vec<StoredCorpus> {
+        let index = self.index.lock().unwrap();
+        let mut out: Vec<StoredCorpus> = index
+            .corpora
+            .iter()
+            .map(|(digest, e)| StoredCorpus {
+                digest: digest.clone(),
+                bytes: e.bytes,
+                origin: e.origin,
+                modified: e.modified,
+            })
+            .collect();
+        out.sort_by(|a, b| a.digest.cmp(&b.digest));
+        out
+    }
+
+    /// Disk footprint of one corpus: its own snapshot plus every atlas
+    /// snapshot built from it.
+    pub fn disk_usage_for(&self, corpus_digest: &str) -> CorpusDiskUsage {
+        let index = self.index.lock().unwrap();
+        let mut usage = CorpusDiskUsage {
+            corpus_bytes: index.corpora.get(corpus_digest).map_or(0, |e| e.bytes),
+            ..CorpusDiskUsage::default()
+        };
+        for e in index.atlases.values() {
+            if e.corpus == corpus_digest {
+                usage.atlas_bytes += e.bytes;
+                usage.atlas_count += 1;
+            }
+        }
+        usage
+    }
+
+    // -- shared internals ---------------------------------------------
+
+    fn load(&self, id: &str, is_atlas: bool) -> Option<Vec<u8>> {
+        let mut index = self.index.lock().unwrap();
+        let present = if is_atlas {
+            index.atlases.contains_key(id)
+        } else {
+            index.corpora.contains_key(id)
+        };
+        if !present {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = if is_atlas {
+            self.atlas_path(id)
+        } else {
+            self.corpus_path(id)
+        };
+        match fs::read(&path) {
+            Ok(bytes) => {
+                let tick = index.tick();
+                if is_atlas {
+                    index.atlases.get_mut(id).unwrap().last_used = tick;
+                } else {
+                    index.corpora.get_mut(id).unwrap().last_used = tick;
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            Err(_) => {
+                if is_atlas {
+                    index.atlases.remove(id);
+                } else {
+                    index.corpora.remove(id);
+                }
+                self.quarantine_file(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Move a damaged file into `quarantine/` (kept, not deleted, so a
+    /// torn write can be examined) and count it.
+    fn quarantine_file(&self, path: &Path) {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unnamed");
+        let mut target = self.config.root.join("quarantine").join(name);
+        let mut n = 0u32;
+        while target.exists() {
+            n += 1;
+            target = self
+                .config
+                .root
+                .join("quarantine")
+                .join(format!("{name}.{n}"));
+        }
+        if fs::rename(path, &target).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evict least-recently-used files until under the budget: atlases
+    /// first (rebuildable from their corpus), then corpora no remaining
+    /// atlas references.
+    fn enforce_budget(&self, index: &mut Index) {
+        if self.config.max_disk_bytes == 0 {
+            return;
+        }
+        while index.total_bytes() > self.config.max_disk_bytes {
+            if let Some(id) = lru_key(index.atlases.iter().map(|(k, e)| (k, e.last_used))) {
+                index.atlases.remove(&id);
+                let _ = fs::remove_file(self.atlas_path(&id));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let unreferenced = index
+                .corpora
+                .iter()
+                .filter(|(d, _)| index.atlases.values().all(|a| &a.corpus != *d))
+                .map(|(d, e)| (d, e.last_used));
+            let Some(digest) = lru_key(unreferenced) else {
+                break;
+            };
+            index.corpora.remove(&digest);
+            let _ = fs::remove_file(self.corpus_path(&digest));
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> StoreStats {
+        let index = self.index.lock().unwrap();
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            atlas_files: index.atlases.len() as u64,
+            corpus_files: index.corpora.len() as u64,
+            atlas_bytes: index.atlases.values().map(|e| e.bytes).sum(),
+            corpus_bytes: index.corpora.values().map(|e| e.bytes).sum(),
+            max_disk_bytes: self.config.max_disk_bytes,
+        }
+    }
+}
+
+fn lru_key<'a>(entries: impl Iterator<Item = (&'a String, u64)>) -> Option<String> {
+    entries
+        .min_by_key(|&(k, used)| (used, k.clone()))
+        .map(|(k, _)| k.clone())
+}
+
+/// Write `bytes` to `path` atomically: a sibling `.tmp` file is
+/// written, fsynced, then renamed over the final path (the directory
+/// is fsynced best-effort afterwards). Readers either see the old file
+/// or the complete new one, never a torn write.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bad snapshot path"))?;
+    let parent = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bad snapshot path"))?;
+    let tmp = parent.join(format!("{file_name}.{TMP_EXT}"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Ok(dir) = fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// A unique scratch directory, removed when dropped.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new() -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "atlas-store-test-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn store(&self, max_disk_bytes: u64) -> SnapshotStore {
+            SnapshotStore::open(StoreConfig {
+                root: self.0.clone(),
+                max_disk_bytes,
+                read_only: false,
+            })
+            .unwrap()
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A minimal valid corpus snapshot (tiny hand-built corpus).
+    fn corpus_bytes() -> (String, Vec<u8>) {
+        use recipedb::store::RecipeDbBuilder;
+        use recipedb::Cuisine;
+        let mut b = RecipeDbBuilder::new();
+        let salt = b.catalog_mut().intern_ingredient("salt");
+        let rice = b.catalog_mut().intern_ingredient("rice");
+        let boil = b.catalog_mut().intern_process("boil");
+        let pan = b.catalog_mut().intern_utensil("pan");
+        b.add_recipe(
+            "dish",
+            Cuisine::ALL[0],
+            vec![salt, rice],
+            vec![boil],
+            vec![pan],
+        );
+        let db = b.build().unwrap();
+        let digest = recipedb::corpus_digest(&db);
+        let bytes = snapshot::encode_corpus(&db, CorpusOrigin::Uploaded, 42).unwrap();
+        (digest, bytes)
+    }
+
+    #[test]
+    fn persist_load_roundtrip_and_counters() {
+        let scratch = Scratch::new();
+        let store = scratch.store(0);
+        let (digest, bytes) = corpus_bytes();
+
+        assert!(store.load_corpus(&digest).is_none());
+        assert!(store
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap());
+        // Re-persisting identical content is a no-op.
+        assert!(!store
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap());
+        assert_eq!(store.load_corpus(&digest).unwrap(), bytes);
+
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        assert_eq!(stats.corpus_files, 1);
+        assert_eq!(stats.corpus_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn reopen_restores_the_index() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        {
+            let store = scratch.store(0);
+            store
+                .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+                .unwrap();
+            store
+                .persist_atlas("aaaa", &digest, b"not-checked-here")
+                .ok();
+        }
+        // "aaaa" is not a valid snapshot — the reopen scan must
+        // quarantine it and keep the valid corpus.
+        let store = scratch.store(0);
+        assert!(store.contains_corpus(&digest));
+        assert!(!store.contains_atlas("aaaa"));
+        let stats = store.stats();
+        assert_eq!(stats.corrupt, 1);
+        assert!(scratch.0.join("quarantine").join("aaaa.atlas").exists());
+        let listed = store.corpora();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].digest, digest);
+        assert_eq!(listed[0].origin, CorpusOrigin::Uploaded);
+    }
+
+    #[test]
+    fn tmp_leftovers_are_swept_on_open() {
+        let scratch = Scratch::new();
+        let store = scratch.store(0);
+        let torn = scratch.0.join("atlases").join("torn.atlas.tmp");
+        fs::write(&torn, b"half a snapshot").unwrap();
+        drop(store);
+
+        let store = scratch.store(0);
+        assert!(!torn.exists(), "tmp orphan must be swept at open");
+        assert_eq!(store.stats().corrupt, 0, "a tmp sweep is not corruption");
+    }
+
+    #[test]
+    fn corrupted_corpus_is_quarantined_on_reopen() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        {
+            let store = scratch.store(0);
+            store
+                .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+                .unwrap();
+        }
+        // Flip one byte in place.
+        let path = scratch.0.join("corpora").join(format!("{digest}.corpus"));
+        let mut damaged = fs::read(&path).unwrap();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x01;
+        fs::write(&path, &damaged).unwrap();
+
+        let store = scratch.store(0);
+        assert!(!store.contains_corpus(&digest));
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn budget_evicts_lru_atlases_before_corpora() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        let store = scratch.store((bytes.len() + 220) as u64);
+        store
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+        // Three 100-byte atlases; budget holds the corpus + two.
+        store.persist_atlas("a1", &digest, &[1u8; 100]).unwrap();
+        store.persist_atlas("a2", &digest, &[2u8; 100]).unwrap();
+        assert!(store.load_atlas("a1").is_some()); // a2 is now LRU
+        store.persist_atlas("a3", &digest, &[3u8; 100]).unwrap();
+
+        assert!(store.contains_atlas("a1"));
+        assert!(!store.contains_atlas("a2"), "LRU atlas must be evicted");
+        assert!(store.contains_atlas("a3"));
+        assert!(
+            store.contains_corpus(&digest),
+            "referenced corpus must stay"
+        );
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.stats().total_bytes() <= store.stats().max_disk_bytes);
+    }
+
+    #[test]
+    fn budget_evicts_unreferenced_corpus_last() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        let store = scratch.store(0);
+        store
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+        store.persist_atlas("big", &digest, &[0u8; 4096]).unwrap();
+        drop(store);
+
+        // Reopen with a budget smaller than anything stored. The bogus
+        // atlas bytes fail the boot scan's validation (quarantined, not
+        // evicted), which leaves the corpus unreferenced — so the
+        // budget may now evict it too.
+        let store = SnapshotStore::open(StoreConfig {
+            root: scratch.0.clone(),
+            max_disk_bytes: 10,
+            read_only: false,
+        })
+        .unwrap();
+        assert_eq!(store.stats().atlas_files, 0);
+        assert_eq!(store.stats().corpus_files, 0);
+        assert_eq!(store.stats().corrupt, 1);
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn read_only_mode_reads_but_never_writes() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        scratch
+            .store(0)
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+
+        let store = SnapshotStore::open(StoreConfig {
+            root: scratch.0.clone(),
+            max_disk_bytes: 0,
+            read_only: true,
+        })
+        .unwrap();
+        assert_eq!(store.load_corpus(&digest).unwrap(), bytes);
+        assert!(!store.persist_atlas("x", &digest, b"data").unwrap());
+        assert!(!store.contains_atlas("x"));
+        assert_eq!(store.stats().writes, 0);
+    }
+
+    #[test]
+    fn remove_corpus_and_dependent_atlases() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        let store = scratch.store(0);
+        store
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+        store.persist_atlas("a1", &digest, &[1u8; 10]).unwrap();
+        store.persist_atlas("a2", &digest, &[2u8; 10]).unwrap();
+        store
+            .persist_atlas("other", "feedbeef", &[3u8; 10])
+            .unwrap();
+
+        let usage = store.disk_usage_for(&digest);
+        assert_eq!(usage.corpus_bytes, bytes.len() as u64);
+        assert_eq!((usage.atlas_bytes, usage.atlas_count), (20, 2));
+
+        assert_eq!(store.remove_atlases_for_corpus(&digest), 2);
+        assert!(store.remove_corpus(&digest));
+        assert!(!store.remove_corpus(&digest));
+        assert!(store.contains_atlas("other"));
+        assert_eq!(store.stats().corpus_files, 0);
+        assert_eq!(store.stats().atlas_files, 1);
+    }
+}
