@@ -135,6 +135,30 @@ pub enum SnapshotError {
     SelfCheckFailed(String),
 }
 
+impl SnapshotError {
+    /// Whether this error means the file's *content* is damaged (torn
+    /// write, bit rot, tampering) — the conditions a store should
+    /// quarantine. The other variants describe a snapshot that is
+    /// internally sound but unusable *by this reader* — a version or
+    /// kind from a different build, or a corpus this process doesn't
+    /// hold. When processes share a store directory, a sibling running
+    /// a newer build may legitimately own such files; quarantining them
+    /// would fight that sibling, so callers treat them as a miss and
+    /// leave the file in place.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            SnapshotError::Truncated
+            | SnapshotError::BadMagic
+            | SnapshotError::ChecksumMismatch
+            | SnapshotError::Malformed(_)
+            | SnapshotError::SelfCheckFailed(_) => true,
+            SnapshotError::UnsupportedVersion(_)
+            | SnapshotError::WrongKind
+            | SnapshotError::CorpusMismatch { .. } => false,
+        }
+    }
+}
+
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

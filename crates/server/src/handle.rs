@@ -52,6 +52,10 @@ impl ServerHandle {
                     root: dir.clone(),
                     max_disk_bytes: config.max_disk_bytes,
                     read_only: !config.persist,
+                    lock_timeout: Duration::from_millis(config.lock_timeout_ms),
+                    // Lets the crash-consistency harness inject faults
+                    // into real spawned servers; unset in production.
+                    faults: atlas_store::FaultPlan::from_env("ATLAS_STORE_FAULT"),
                 },
             )?)),
             None => None,

@@ -1,0 +1,426 @@
+//! Crash consistency and multi-process sharing, proven on real
+//! processes.
+//!
+//! These tests spawn actual `atlas-serve` binaries (via
+//! `CARGO_BIN_EXE_atlas-serve`) against one shared `--data-dir`:
+//!
+//! - **Two-process warm sharing**: process B, booted on an empty store,
+//!   serves byte-identical bodies off process A's snapshots with
+//!   `atlas_builds_total 0` — the read path's re-probe-on-miss finds a
+//!   sibling's writes with no restart required.
+//! - **SIGKILL mid-persist**: a writer is stalled inside the atlas
+//!   payload write (`ATLAS_STORE_FAULT=write:2:stall`) and killed with
+//!   SIGKILL while holding the store's advisory lock. The survivor must
+//!   break the dead writer's stale lock (counted in `/metrics`),
+//!   rebuild exactly once, and a fresh restart must sweep the torn
+//!   `.tmp`, boot warm, and serve byte-identical bodies.
+//!
+//! The workload is a tiny uploaded corpus (content-addressed, so every
+//! process computes the same digest), keeping each cold build to
+//! milliseconds — the tests probe crash consistency, not build speed.
+//!
+//! Set `ATLAS_TEST_THREADS` to vary worker counts (default 4); CI runs
+//! this under 2 and 8 threads alongside the persistence suite.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use recipedb::io;
+use recipedb::store::RecipeDbBuilder;
+use recipedb::Cuisine;
+
+/// Ceiling for any single HTTP exchange or stall-poll on a loaded CI
+/// runner (the tiny-corpus builds themselves are near-instant).
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn workers() -> usize {
+    std::env::var("ATLAS_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4)
+}
+
+/// A small three-cuisine corpus as upload-ready JSON. Every process
+/// that uploads it derives the same digest, which is what lets the
+/// harness address one shared atlas across processes.
+fn tiny_corpus_json() -> String {
+    let mut b = RecipeDbBuilder::new();
+    let ings: Vec<_> = (0..6)
+        .map(|i| b.catalog_mut().intern_ingredient(&format!("crash-ing-{i}")))
+        .collect();
+    let procs: Vec<_> = (0..3)
+        .map(|i| b.catalog_mut().intern_process(&format!("crash-proc-{i}")))
+        .collect();
+    for (ci, &cuisine) in Cuisine::ALL[..3].iter().enumerate() {
+        for r in 0..4 {
+            b.add_recipe(
+                format!("crash-r{ci}-{r}"),
+                cuisine,
+                vec![ings[ci], ings[(ci + r) % 6], ings[5 - ci]],
+                vec![procs[(ci + r) % 3]],
+                vec![],
+            );
+        }
+    }
+    io::to_json(&b.build().expect("valid corpus")).expect("serializable corpus")
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "atlas-crash-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A live `atlas-serve` child process. Killed (hard) on drop so a
+/// failing test never leaks servers.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawn `atlas-serve --data-dir <dir>` on an ephemeral port,
+    /// optionally with a fault-injection spec in `ATLAS_STORE_FAULT`,
+    /// and wait for its "listening on" banner.
+    fn spawn(data_dir: &Path, fault: Option<&str>) -> Server {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_atlas-serve"));
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--data-dir")
+            .arg(data_dir)
+            .arg("--workers")
+            .arg(workers().to_string())
+            .arg("--lock-timeout-ms")
+            .arg("1000")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        match fault {
+            Some(spec) => cmd.env("ATLAS_STORE_FAULT", spec),
+            None => cmd.env_remove("ATLAS_STORE_FAULT"),
+        };
+        let mut child = cmd.spawn().expect("spawn atlas-serve");
+
+        // The banner reader lives in a thread so a wedged child can't
+        // hang the test past its deadline.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut lines = BufReader::new(stdout).lines();
+            while let Some(Ok(line)) = lines.next() {
+                let done = line.contains("listening on http://");
+                if tx.send(line).is_err() || done {
+                    break;
+                }
+            }
+            // Keep draining so the child never blocks on a full pipe.
+            for _ in lines {}
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(line) => {
+                    if let Some(rest) = line.split("listening on http://").nth(1) {
+                        break rest.split_whitespace().next().unwrap().to_string();
+                    }
+                }
+                Err(_) => panic!("atlas-serve never printed its listening banner"),
+            }
+        };
+        Server { child, addr }
+    }
+
+    /// SIGKILL the child and reap it — reaping matters: it removes the
+    /// `/proc/<pid>` entry, which is what lets a sibling judge the
+    /// dead writer's lock stale.
+    fn kill9(mut self) {
+        self.child.kill().expect("SIGKILL");
+        self.child.wait().expect("reap");
+        // Disarm the Drop kill on the already-reaped child.
+        std::mem::forget(self);
+    }
+
+    fn get(&self, path: &str) -> (u16, Vec<u8>) {
+        http_exchange(&self.addr, &format!("GET {path} HTTP/1.1"), &[])
+    }
+
+    fn get_ok(&self, path: &str) -> Vec<u8> {
+        let (status, body) = self.get(path);
+        assert_eq!(
+            status,
+            200,
+            "GET {path} -> {status}: {}",
+            String::from_utf8_lossy(&body)
+        );
+        body
+    }
+
+    /// Upload a corpus, returning its digest from the response.
+    fn upload(&self, json: &str) -> String {
+        let (status, body) = http_exchange(&self.addr, "POST /corpus HTTP/1.1", json.as_bytes());
+        let text = String::from_utf8(body).unwrap();
+        assert_eq!(status, 200, "POST /corpus -> {status}: {text}");
+        let v: serde_json::Value = serde_json::from_str(&text).expect("upload response is JSON");
+        v["corpus"]
+            .as_str()
+            .expect("digest in response")
+            .to_string()
+    }
+
+    fn metrics(&self) -> String {
+        String::from_utf8(self.get_ok("/metrics")).unwrap()
+    }
+
+    /// Send a request and deliberately never read the response; returns
+    /// the open stream so the connection (and the handler working on
+    /// it) stays alive. This is how a stalled persist is triggered
+    /// without blocking the test.
+    fn fire_and_forget(&self, path: &str) -> TcpStream {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        )
+        .expect("send request");
+        stream.flush().expect("flush request");
+        stream
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Minimal HTTP/1.1 exchange over a raw socket (`Connection: close`,
+/// read to EOF, split at the header/body boundary).
+fn http_exchange(addr: &str, request_line: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(DEADLINE))
+        .expect("read timeout");
+    write!(
+        stream,
+        "{request_line}\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .expect("send headers");
+    stream.write_all(body).expect("send body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header/body boundary");
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+/// Value of a bare `name value` Prometheus line.
+fn metric(text: &str, name: &str) -> u64 {
+    let prefix = format!("{name} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("metric {name} not an integer: {e}"))
+}
+
+fn files_with_ext(root: &Path, ext: &str) -> Vec<PathBuf> {
+    std::fs::read_dir(root)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some(ext))
+        .collect()
+}
+
+/// Two live servers share one `--data-dir`: the second serves the
+/// first's snapshots byte-identically with zero builds, via the read
+/// path's filesystem re-probe (B booted *before* A wrote anything, so
+/// its boot scan alone cannot explain the warm hit).
+#[test]
+fn second_process_serves_a_siblings_snapshots_without_building() {
+    let scratch = Scratch::new("share");
+    let a = Server::spawn(&scratch.0, None);
+    let b = Server::spawn(&scratch.0, None); // boots on an empty store
+
+    let corpus = tiny_corpus_json();
+    let digest = a.upload(&corpus);
+    let path = format!("/table1?seed=907&corpus={digest}");
+    let body_a = a.get_ok(&path);
+    let ma = a.metrics();
+    assert_eq!(metric(&ma, "atlas_builds_total"), 1);
+    assert!(
+        metric(&ma, "atlas_store_snapshot_writes_total") >= 2,
+        "corpus + atlas written through: {ma}"
+    );
+    assert!(
+        metric(&ma, "atlas_store_lock_acquisitions_total") >= 1,
+        "persists take the advisory lock"
+    );
+    assert_eq!(
+        metric(&ma, "atlas_store_lock_steals_total"),
+        0,
+        "nothing stale to steal"
+    );
+
+    // B registers the same corpus (content-addressed: same digest, and
+    // the store adopts A's on-disk snapshot instead of rewriting it),
+    // then serves A's atlas without ever building.
+    assert_eq!(b.upload(&corpus), digest);
+    let body_b = b.get_ok(&path);
+    assert_eq!(body_a, body_b, "sibling must serve byte-identical bodies");
+    let mb = b.metrics();
+    assert_eq!(
+        metric(&mb, "atlas_builds_total"),
+        0,
+        "B must serve A's snapshot, not rebuild: {mb}"
+    );
+    assert_eq!(
+        metric(&mb, "atlas_store_snapshot_writes_total"),
+        0,
+        "B re-writes nothing A already persisted: {mb}"
+    );
+    assert!(
+        metric(&mb, "atlas_store_index_rescans_total") >= 1,
+        "the warm hit came from a re-probe of A's write: {mb}"
+    );
+    assert!(metric(&mb, "atlas_store_snapshot_hits_total") >= 1);
+}
+
+/// SIGKILL a writer stalled mid-persist while it holds the advisory
+/// lock: no torn visible snapshot may ever appear, the survivor breaks
+/// the stale lock and rebuilds exactly once, and a fresh restart boots
+/// warm off the survivor's snapshot with the torn `.tmp` swept.
+#[test]
+fn sigkill_mid_persist_never_tears_a_visible_snapshot() {
+    let scratch = Scratch::new("sigkill");
+    // Store writes in this workload: the corpus payload persists at
+    // upload time (write #1), the atlas payload on the first atlas GET
+    // (write #2). Stalling #2 wedges the writer inside the atlas tmp
+    // write — after the corpus committed, before the commit rename —
+    // while it holds the store's advisory lock.
+    let writer = Server::spawn(&scratch.0, Some("write:2:stall"));
+    let survivor = Server::spawn(&scratch.0, None);
+
+    let corpus = tiny_corpus_json();
+    let digest = writer.upload(&corpus);
+    let path = format!("/table1?seed=907&corpus={digest}");
+    let _pending = writer.fire_and_forget(&path);
+
+    // Wait until the writer is provably inside the stalled atlas write:
+    // its pid-tagged tmp file exists in atlases/.
+    let atlases = scratch.0.join("atlases");
+    let deadline = Instant::now() + DEADLINE;
+    while files_with_ext(&atlases, "tmp").is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "writer never reached the stalled atlas write"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        files_with_ext(&scratch.0.join("corpora"), "corpus").len(),
+        1,
+        "the corpus write (fault #1 untouched) must have committed"
+    );
+    assert!(
+        files_with_ext(&atlases, "atlas").is_empty(),
+        "no visible atlas may exist before the stalled rename"
+    );
+
+    writer.kill9();
+    assert!(
+        scratch.0.join("store.lock").exists(),
+        "the dead writer left its lock behind"
+    );
+    assert!(
+        files_with_ext(&atlases, "atlas").is_empty(),
+        "SIGKILL mid-write must not produce a visible atlas"
+    );
+
+    // The survivor: adopt the committed corpus, stale-break the dead
+    // writer's lock, rebuild exactly the one atlas the kill destroyed.
+    assert_eq!(survivor.upload(&corpus), digest);
+    let body_survivor = survivor.get_ok(&path);
+    let ms = survivor.metrics();
+    assert_eq!(
+        metric(&ms, "atlas_builds_total"),
+        1,
+        "exactly the one rebuild the kill forced: {ms}"
+    );
+    assert!(
+        metric(&ms, "atlas_store_lock_steals_total") >= 1,
+        "the dead writer's lock must be broken, not waited out: {ms}"
+    );
+    assert!(
+        metric(&ms, "atlas_store_index_rescans_total") >= 1,
+        "the committed corpus is adopted, not rewritten: {ms}"
+    );
+    assert_eq!(
+        files_with_ext(&atlases, "atlas").len(),
+        1,
+        "the survivor's persist went through"
+    );
+    assert!(
+        !scratch.0.join("store.lock").exists(),
+        "the stolen lock is released after the persist"
+    );
+
+    // A fresh process boots warm off the survivor's snapshot: the torn
+    // tmp is swept, nothing rebuilds, bodies stay byte-identical.
+    let restarted = Server::spawn(&scratch.0, None);
+    let body_restarted = restarted.get_ok(&path);
+    assert_eq!(
+        body_survivor, body_restarted,
+        "restart must serve byte-identical bodies"
+    );
+    let mr = restarted.metrics();
+    assert_eq!(
+        metric(&mr, "atlas_builds_total"),
+        0,
+        "the restart boots warm: {mr}"
+    );
+    assert_eq!(
+        metric(&mr, "atlas_store_snapshot_corrupt_total"),
+        0,
+        "crash residue is tmp-swept, never quarantined as corruption: {mr}"
+    );
+    assert!(
+        files_with_ext(&atlases, "tmp").is_empty(),
+        "the dead writer's torn tmp is swept at boot"
+    );
+}

@@ -1,0 +1,307 @@
+//! Deterministic fault injection for store I/O.
+//!
+//! Every filesystem mutation the store performs — tmp-file create, the
+//! payload write, the fsync, the commit rename, and eviction unlinks —
+//! first consults a [`FaultPlan`]. A plan is a list of injections of
+//! the form "the Nth operation of this kind fails with this
+//! `io::ErrorKind`" (or stalls, for crash tests that SIGKILL the
+//! process mid-write). The default plan is empty and its check compiles
+//! down to a branch on a `None`, so production pays one predictable
+//! branch per I/O site.
+//!
+//! Plans can also be parsed from an environment variable
+//! ([`FaultPlan::from_env`]), which is how the crash-consistency
+//! harness injects faults into *real* `atlas-serve` child processes it
+//! spawns and kills:
+//!
+//! ```text
+//! ATLAS_STORE_FAULT=write:2:stall      # stall the 2nd payload write forever
+//! ATLAS_STORE_FAULT=rename:1:notfound  # fail the 1st commit rename
+//! ATLAS_STORE_FAULT=sync:1:other,unlink:1:denied
+//! ```
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which store I/O primitive a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Creating the `.tmp` file of an atomic write.
+    Create,
+    /// Writing the snapshot payload into the `.tmp` file.
+    Write,
+    /// Fsyncing the `.tmp` file before the commit rename.
+    Sync,
+    /// Renaming the `.tmp` file over the final path.
+    Rename,
+    /// Unlinking a snapshot file (eviction, removal).
+    Unlink,
+}
+
+impl FaultOp {
+    /// Every injectable operation, in counter order.
+    pub const ALL: [FaultOp; 5] = [
+        FaultOp::Create,
+        FaultOp::Write,
+        FaultOp::Sync,
+        FaultOp::Rename,
+        FaultOp::Unlink,
+    ];
+
+    /// The spec name used in `ATLAS_STORE_FAULT`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Create => "create",
+            FaultOp::Write => "write",
+            FaultOp::Sync => "sync",
+            FaultOp::Rename => "rename",
+            FaultOp::Unlink => "unlink",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FaultOp> {
+        FaultOp::ALL.into_iter().find(|op| op.name() == s)
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// What happens when an injection fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The I/O site returns this error.
+    Fail(io::ErrorKind),
+    /// The I/O site blocks — the crash harness SIGKILLs the process
+    /// while it sits here, leaving whatever is on disk torn. Bounded at
+    /// [`STALL_CAP`] so a leaked test process eventually unwedges.
+    Stall,
+}
+
+/// Longest a [`FaultAction::Stall`] blocks before giving up and
+/// continuing normally (the harness kills the process long before).
+pub const STALL_CAP: Duration = Duration::from_secs(600);
+
+#[derive(Debug, Clone, Copy)]
+struct Injection {
+    op: FaultOp,
+    /// 1-based occurrence of `op` that fires the fault.
+    nth: u64,
+    action: FaultAction,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    injections: Vec<Injection>,
+    /// Per-op occurrence counters, indexed by [`FaultOp::index`].
+    counters: [AtomicU64; 5],
+    fired: AtomicU64,
+}
+
+/// A deterministic fault plan threaded through every store I/O site.
+///
+/// Clones share counters, so one plan can be handed to a
+/// [`StoreConfig`](crate::StoreConfig) and still be inspected by the
+/// test that built it.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Option<Arc<PlanState>>,
+}
+
+impl FaultPlan {
+    /// The no-op plan: every check passes.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan failing the `nth` (1-based) `op` with `kind`.
+    pub fn failing(op: FaultOp, nth: u64, kind: io::ErrorKind) -> FaultPlan {
+        FaultPlan::with_injections(vec![Injection {
+            op,
+            nth,
+            action: FaultAction::Fail(kind),
+        }])
+    }
+
+    /// A plan stalling the `nth` (1-based) `op` until the process dies.
+    pub fn stalling(op: FaultOp, nth: u64) -> FaultPlan {
+        FaultPlan::with_injections(vec![Injection {
+            op,
+            nth,
+            action: FaultAction::Stall,
+        }])
+    }
+
+    fn with_injections(injections: Vec<Injection>) -> FaultPlan {
+        FaultPlan {
+            state: Some(Arc::new(PlanState {
+                injections,
+                counters: Default::default(),
+                fired: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Parse a plan from the environment variable `var` (unset or empty
+    /// means [`FaultPlan::none`]). Exits loudly on a malformed spec —
+    /// a typo'd fault var silently running faultless would invalidate
+    /// the test that set it.
+    pub fn from_env(var: &str) -> FaultPlan {
+        match std::env::var(var) {
+            Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => panic!("bad {var}={spec:?}: {e}"),
+            },
+            _ => FaultPlan::none(),
+        }
+    }
+
+    /// Parse a comma-separated list of `op:nth:action` specs, where
+    /// `op` is one of `create|write|sync|rename|unlink`, `nth` is a
+    /// 1-based occurrence, and `action` is `stall` or an error-kind
+    /// name (`notfound|denied|interrupted|timedout|wouldblock|other`).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut injections = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [op, nth, action] = fields.as_slice() else {
+                return Err(format!("expected op:nth:action, got {part:?}"));
+            };
+            let op =
+                FaultOp::from_name(op).ok_or_else(|| format!("unknown op {op:?} in {part:?}"))?;
+            let nth: u64 = nth
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("nth must be a 1-based count, got {nth:?}"))?;
+            let action = match *action {
+                "stall" => FaultAction::Stall,
+                "notfound" => FaultAction::Fail(io::ErrorKind::NotFound),
+                "denied" => FaultAction::Fail(io::ErrorKind::PermissionDenied),
+                "interrupted" => FaultAction::Fail(io::ErrorKind::Interrupted),
+                "timedout" => FaultAction::Fail(io::ErrorKind::TimedOut),
+                "wouldblock" => FaultAction::Fail(io::ErrorKind::WouldBlock),
+                "other" => FaultAction::Fail(io::ErrorKind::Other),
+                other => return Err(format!("unknown action {other:?} in {part:?}")),
+            };
+            injections.push(Injection { op, nth, action });
+        }
+        if injections.is_empty() {
+            return Err("empty fault spec".to_string());
+        }
+        Ok(FaultPlan::with_injections(injections))
+    }
+
+    /// Whether any injection is armed (false for the default plan).
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// How many injections have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.fired.load(Ordering::Relaxed))
+    }
+
+    /// Count one occurrence of `op` and fire a matching injection:
+    /// `Err` for [`FaultAction::Fail`], a (capped) block for
+    /// [`FaultAction::Stall`]. The hot path for the default plan is a
+    /// single `None` branch.
+    pub fn check(&self, op: FaultOp) -> io::Result<()> {
+        let Some(state) = &self.state else {
+            return Ok(());
+        };
+        let seen = state.counters[op.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        for inj in &state.injections {
+            if inj.op != op || inj.nth != seen {
+                continue;
+            }
+            state.fired.fetch_add(1, Ordering::SeqCst);
+            match inj.action {
+                FaultAction::Fail(kind) => {
+                    return Err(io::Error::new(
+                        kind,
+                        format!("injected fault: {} #{seen}", op.name()),
+                    ));
+                }
+                FaultAction::Stall => {
+                    let started = std::time::Instant::now();
+                    while started.elapsed() < STALL_CAP {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for op in FaultOp::ALL {
+            for _ in 0..10 {
+                plan.check(op).unwrap();
+            }
+        }
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[test]
+    fn nth_occurrence_fails_with_the_chosen_kind() {
+        let plan = FaultPlan::failing(FaultOp::Write, 3, io::ErrorKind::PermissionDenied);
+        plan.check(FaultOp::Write).unwrap();
+        plan.check(FaultOp::Create).unwrap(); // other ops don't advance the write counter
+        plan.check(FaultOp::Write).unwrap();
+        let err = plan.check(FaultOp::Write).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(plan.fired(), 1);
+        // The fault is one-shot: occurrence 4 passes.
+        plan.check(FaultOp::Write).unwrap();
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::failing(FaultOp::Rename, 2, io::ErrorKind::Other);
+        let clone = plan.clone();
+        plan.check(FaultOp::Rename).unwrap();
+        assert!(clone.check(FaultOp::Rename).is_err());
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_grammar() {
+        let plan = FaultPlan::parse("write:2:stall").unwrap();
+        assert!(plan.is_active());
+        let plan = FaultPlan::parse("sync:1:other, unlink:3:denied").unwrap();
+        plan.check(FaultOp::Sync).unwrap_err();
+        plan.check(FaultOp::Unlink).unwrap();
+        plan.check(FaultOp::Unlink).unwrap();
+        let err = plan.check(FaultOp::Unlink).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("write:0:stall").is_err(), "nth is 1-based");
+        assert!(FaultPlan::parse("chmod:1:other").is_err(), "unknown op");
+        assert!(
+            FaultPlan::parse("write:1:explode").is_err(),
+            "unknown action"
+        );
+        assert!(FaultPlan::parse("write:1").is_err(), "missing action");
+    }
+
+    #[test]
+    fn from_env_defaults_to_none_when_unset() {
+        assert!(!FaultPlan::from_env("ATLAS_STORE_FAULT_TEST_UNSET").is_active());
+    }
+}

@@ -8,25 +8,46 @@
 //! <root>/atlases/<store-id>.atlas     one file per built atlas
 //! <root>/corpora/<digest>.corpus      one file per corpus
 //! <root>/quarantine/                  damaged files, kept for forensics
+//! <root>/store.lock                   advisory write lock (while held)
 //! ```
 //!
 //! Files are **content-addressed**: a corpus file is named by its
 //! semantic [`corpus digest`](recipedb::digest::corpus_digest) and an
 //! atlas file by the server's cache-key id, so identical content lands
 //! on identical paths and a re-persist is a no-op. Writes are atomic
-//! (`.tmp` + fsync + rename) — a crash mid-persist leaves a `.tmp`
-//! orphan that the next [`SnapshotStore::open`] sweeps away, never a
-//! half-written live file. Files that fail validation (at the boot scan
-//! or on a later load/decode) are moved to `quarantine/` and counted,
-//! so the serving layer falls back to a rebuild instead of crashing.
+//! (pid-tagged `.tmp` + fsync + rename) — a crash mid-persist leaves a
+//! `.tmp` orphan that the next [`SnapshotStore::open`] sweeps away,
+//! never a half-written live file. Files that fail validation (at the
+//! boot scan or on a later load/decode) are moved to `quarantine/` and
+//! counted, so the serving layer falls back to a rebuild instead of
+//! crashing.
+//!
+//! **Multiple processes may share one store.** Mutations (persist,
+//! evict, quarantine, remove) are serialized behind a short-held
+//! advisory [`lock`] — a `store.lock` file acquired with
+//! `O_CREAT|O_EXCL` semantics, broken when its recorded owner is dead —
+//! while the read path stays lock-free: an index miss re-probes the
+//! filesystem (a sibling may have persisted the snapshot after our boot
+//! scan) and a `NotFound` on an indexed file degrades to a miss (a
+//! sibling evicted it; the caller rebuilds). Read-only stores never
+//! take the lock and never mutate the directory, not even at boot.
 //!
 //! A disk budget (`max_disk_bytes`, 0 = unbounded) is enforced after
 //! every write by evicting least-recently-used atlases first, then
 //! least-recently-used corpora that no remaining atlas references —
 //! never a corpus that stored atlases still need to decode.
+//!
+//! Every I/O mutation first consults a [`fault::FaultPlan`], so tests
+//! (and the crash-consistency harness, via `ATLAS_STORE_FAULT`) can
+//! fail or stall the Nth create/write/fsync/rename/unlink and prove
+//! that every partial-failure path lands in the `.tmp` sweep or
+//! `quarantine/` — never a torn visible snapshot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod fault;
+pub mod lock;
 
 use std::collections::HashMap;
 use std::fs;
@@ -34,13 +55,20 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 use cuisine_atlas::snapshot::{self, CorpusOrigin};
+
+pub use fault::{FaultOp, FaultPlan};
+pub use lock::{LockOwner, StoreLock};
 
 const ATLAS_EXT: &str = "atlas";
 const CORPUS_EXT: &str = "corpus";
 const TMP_EXT: &str = "tmp";
+
+/// Default time a mutation waits for the advisory write lock before
+/// giving up (the server's `--lock-timeout-ms`).
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -50,9 +78,29 @@ pub struct StoreConfig {
     /// Disk budget in bytes across atlases + corpora; `0` disables the
     /// budget.
     pub max_disk_bytes: u64,
-    /// Serve warm reads but never write, evict, or quarantine-on-load
+    /// Serve warm reads but never write, evict, quarantine, or lock
     /// (the server's `--no-persist` flag).
     pub read_only: bool,
+    /// How long a mutation waits for the advisory write lock held by a
+    /// live sibling process before erroring with `TimedOut`.
+    pub lock_timeout: Duration,
+    /// Fault injections applied to every store I/O site (tests only;
+    /// the default plan is free).
+    pub faults: FaultPlan,
+}
+
+impl StoreConfig {
+    /// A read-write store at `root` with no disk budget, the default
+    /// lock timeout, and no fault injections.
+    pub fn new(root: PathBuf) -> StoreConfig {
+        StoreConfig {
+            root,
+            max_disk_bytes: 0,
+            read_only: false,
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            faults: FaultPlan::none(),
+        }
+    }
 }
 
 /// Counter and gauge snapshot of the store, rendered into `/metrics`
@@ -69,6 +117,16 @@ pub struct StoreStats {
     pub corrupt: u64,
     /// Files evicted to stay under the disk budget.
     pub evictions: u64,
+    /// Times the index was corrected against the filesystem: a miss
+    /// re-probed into a sibling's snapshot, a sibling's write adopted
+    /// at persist time, or an entry dropped after a sibling's unlink.
+    pub rescans: u64,
+    /// Advisory write-lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Stale sibling locks broken (dead pid / previous boot).
+    pub lock_steals: u64,
+    /// Lock acquisitions that found a live holder and had to wait.
+    pub lock_contentions: u64,
     /// Atlas snapshot files currently stored.
     pub atlas_files: u64,
     /// Corpus snapshot files currently stored.
@@ -153,11 +211,15 @@ impl Index {
 pub struct SnapshotStore {
     config: StoreConfig,
     index: Mutex<Index>,
+    /// The advisory write lock; `None` in read-only mode, which never
+    /// mutates and therefore never excludes anyone.
+    lock: Option<StoreLock>,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
     corrupt: AtomicU64,
     evictions: AtomicU64,
+    rescans: AtomicU64,
 }
 
 impl SnapshotStore {
@@ -166,26 +228,39 @@ impl SnapshotStore {
     ///
     /// Every existing snapshot is checksum-verified here — the boot
     /// scan is what makes a warm restart trustworthy — and the LRU
-    /// clock is seeded from file modification times, so eviction order
-    /// survives restarts.
+    /// clock is seeded from file modification times (ties broken on
+    /// the store id/digest, so eviction order is independent of
+    /// `read_dir` order), so eviction order survives restarts.
     pub fn open(config: StoreConfig) -> io::Result<Self> {
         fs::create_dir_all(config.root.join("atlases"))?;
         fs::create_dir_all(config.root.join("corpora"))?;
         fs::create_dir_all(config.root.join("quarantine"))?;
 
+        let lock = if config.read_only {
+            None
+        } else {
+            Some(StoreLock::new(&config.root, config.lock_timeout))
+        };
         let store = SnapshotStore {
             config,
             index: Mutex::new(Index::default()),
+            lock,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rescans: AtomicU64::new(0),
         };
         store.scan()?;
         if !store.config.read_only {
             let mut index = store.index.lock().unwrap();
-            store.enforce_budget(&mut index);
+            // Budget enforcement is a mutation: take the write lock. A
+            // wedged sibling must not block startup, so a lock timeout
+            // defers enforcement to the next write.
+            if let Ok(_guard) = store.write_guard() {
+                store.enforce_budget(&mut index);
+            }
         }
         Ok(store)
     }
@@ -214,11 +289,20 @@ impl SnapshotStore {
             .join(format!("{digest}.{CORPUS_EXT}"))
     }
 
-    /// Scan both snapshot directories: drop `.tmp` orphans, quarantine
-    /// invalid files, index the rest in mtime order (oldest first) so
-    /// the LRU clock reflects pre-restart recency.
+    /// Acquire the advisory write lock (no-op handle in read-only
+    /// mode, which never calls this with a mutation in hand).
+    fn write_guard(&self) -> io::Result<Option<lock::LockGuard<'_>>> {
+        self.lock.as_ref().map(|l| l.acquire()).transpose()
+    }
+
+    /// Scan both snapshot directories: drop dead writers' `.tmp`
+    /// orphans, quarantine invalid files, index the rest in
+    /// `(mtime, stem)` order — oldest first, ties broken on the store
+    /// id/digest — so the LRU clock reflects pre-restart recency and
+    /// never depends on `read_dir` order. Read-only stores index
+    /// without mutating anything.
     fn scan(&self) -> io::Result<()> {
-        let mut found: Vec<(SystemTime, PathBuf, bool)> = Vec::new();
+        let mut found: Vec<(SystemTime, String, PathBuf, bool)> = Vec::new();
         for (dir, is_atlas) in [("atlases", true), ("corpora", false)] {
             for entry in fs::read_dir(self.config.root.join(dir))? {
                 let path = entry?.path();
@@ -227,26 +311,30 @@ impl SnapshotStore {
                 }
                 let ext = path.extension().and_then(|e| e.to_str());
                 if ext == Some(TMP_EXT) {
-                    let _ = fs::remove_file(&path);
+                    // Sweep tmp files unless a live sibling is still
+                    // writing them (tmp names carry the writer's pid).
+                    if !self.config.read_only && !tmp_writer_alive(&path) {
+                        let _ = fs::remove_file(&path);
+                    }
                     continue;
                 }
                 if ext != Some(if is_atlas { ATLAS_EXT } else { CORPUS_EXT }) {
                     continue;
                 }
+                let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                    self.quarantine_file(&path);
+                    continue;
+                };
                 let modified = fs::metadata(&path)
                     .and_then(|m| m.modified())
                     .unwrap_or(SystemTime::UNIX_EPOCH);
-                found.push((modified, path, is_atlas));
+                found.push((modified, stem, path, is_atlas));
             }
         }
         found.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
 
         let mut index = self.index.lock().unwrap();
-        for (modified, path, is_atlas) in found {
-            let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
-                self.quarantine_file(&path);
-                continue;
-            };
+        for (modified, stem, path, is_atlas) in found {
             let Ok(bytes) = fs::read(&path) else {
                 self.quarantine_file(&path);
                 continue;
@@ -264,7 +352,7 @@ impl SnapshotStore {
                             },
                         );
                     }
-                    Err(_) => self.quarantine_file(&path),
+                    Err(e) => self.reject_file(&path, &e),
                 }
             } else {
                 match snapshot::peek_corpus(&bytes) {
@@ -280,11 +368,25 @@ impl SnapshotStore {
                             },
                         );
                     }
-                    _ => self.quarantine_file(&path),
+                    // A valid frame whose embedded digest disagrees
+                    // with its filename is misplaced content — damage.
+                    Ok(_) => self.quarantine_file(&path),
+                    Err(e) => self.reject_file(&path, &e),
                 }
             }
         }
         Ok(())
+    }
+
+    /// Handle a file that failed snapshot validation: *corruption*
+    /// (checksum/structure damage) is quarantined; anything else — a
+    /// version or kind this build does not speak, possibly written by a
+    /// sibling process running a different build — is left in place,
+    /// unindexed, so we never fight the sibling that owns it.
+    fn reject_file(&self, path: &Path, err: &snapshot::SnapshotError) {
+        if err.is_corruption() {
+            self.quarantine_file(path);
+        }
     }
 
     // -- atlases ------------------------------------------------------
@@ -294,9 +396,12 @@ impl SnapshotStore {
         self.index.lock().unwrap().atlases.contains_key(store_id)
     }
 
-    /// Read an atlas snapshot's bytes, counting a hit or miss. An
-    /// unreadable file is quarantined on the spot (unless read-only)
-    /// and reported as a miss.
+    /// Read an atlas snapshot's bytes, counting a hit or miss. An index
+    /// miss re-probes the filesystem (a sibling process may have
+    /// persisted it since our boot scan); a vanished file (sibling
+    /// eviction) degrades to a miss; an unreadable or invalid file is
+    /// quarantined on the spot (never in read-only mode) and reported
+    /// as a miss.
     pub fn load_atlas(&self, store_id: &str) -> Option<Vec<u8>> {
         self.load(store_id, true)
     }
@@ -304,7 +409,11 @@ impl SnapshotStore {
     /// Persist an atlas snapshot under `store_id`, recording which
     /// corpus it depends on (the budget never evicts a corpus out from
     /// under its atlases). Returns `false` without writing when the
-    /// store is read-only or the file already exists.
+    /// store is read-only or the file already exists — including one a
+    /// sibling process persisted after our boot scan, which is adopted
+    /// into the index instead of rewritten (identical name means
+    /// identical content under content addressing; a damaged impostor
+    /// is caught and quarantined at load time).
     pub fn persist_atlas(
         &self,
         store_id: &str,
@@ -318,7 +427,22 @@ impl SnapshotStore {
         if index.atlases.contains_key(store_id) {
             return Ok(false);
         }
-        write_atomic(&self.atlas_path(store_id), bytes)?;
+        let path = self.atlas_path(store_id);
+        if let Ok(meta) = fs::metadata(&path) {
+            let last_used = index.tick();
+            index.atlases.insert(
+                store_id.to_string(),
+                AtlasEntry {
+                    bytes: meta.len(),
+                    corpus: corpus_digest.to_string(),
+                    last_used,
+                },
+            );
+            self.rescans.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        let _guard = self.write_guard()?;
+        write_atomic(&path, bytes, &self.config.faults)?;
         let last_used = index.tick();
         index.atlases.insert(
             store_id.to_string(),
@@ -337,13 +461,18 @@ impl SnapshotStore {
     pub fn quarantine_atlas(&self, store_id: &str) {
         let mut index = self.index.lock().unwrap();
         index.atlases.remove(store_id);
+        let guard = self.write_guard();
         self.quarantine_file(&self.atlas_path(store_id));
+        drop(guard);
     }
 
     /// Remove every stored atlas built from `corpus_digest`; returns
     /// how many were removed.
     pub fn remove_atlases_for_corpus(&self, corpus_digest: &str) -> usize {
         let mut index = self.index.lock().unwrap();
+        // Removal is idempotent and must not be blocked forever by a
+        // wedged sibling: lock if possible, proceed regardless.
+        let guard = self.write_guard();
         let doomed: Vec<String> = index
             .atlases
             .iter()
@@ -352,8 +481,9 @@ impl SnapshotStore {
             .collect();
         for id in &doomed {
             index.atlases.remove(id);
-            let _ = fs::remove_file(self.atlas_path(id));
+            let _ = self.unlink(&self.atlas_path(id));
         }
+        drop(guard);
         doomed.len()
     }
 
@@ -364,14 +494,17 @@ impl SnapshotStore {
         self.index.lock().unwrap().corpora.contains_key(digest)
     }
 
-    /// Read a corpus snapshot's bytes, counting a hit or miss.
+    /// Read a corpus snapshot's bytes, counting a hit or miss. Index
+    /// misses re-probe the filesystem, exactly like
+    /// [`SnapshotStore::load_atlas`].
     pub fn load_corpus(&self, digest: &str) -> Option<Vec<u8>> {
         self.load(digest, false)
     }
 
     /// Persist a corpus snapshot under its digest. Returns `false`
     /// without writing when the store is read-only or the file already
-    /// exists (content-addressing makes re-persists no-ops).
+    /// exists — content-addressing makes re-persists no-ops, including
+    /// of snapshots a sibling process persisted after our boot scan.
     pub fn persist_corpus(
         &self,
         digest: &str,
@@ -385,7 +518,24 @@ impl SnapshotStore {
         if index.corpora.contains_key(digest) {
             return Ok(false);
         }
-        write_atomic(&self.corpus_path(digest), bytes)?;
+        let path = self.corpus_path(digest);
+        if let Ok(meta) = fs::metadata(&path) {
+            let modified = meta.modified().unwrap_or_else(|_| SystemTime::now());
+            let last_used = index.tick();
+            index.corpora.insert(
+                digest.to_string(),
+                CorpusEntry {
+                    bytes: meta.len(),
+                    origin,
+                    modified,
+                    last_used,
+                },
+            );
+            self.rescans.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        let _guard = self.write_guard()?;
+        write_atomic(&path, bytes, &self.config.faults)?;
         let last_used = index.tick();
         index.corpora.insert(
             digest.to_string(),
@@ -405,7 +555,9 @@ impl SnapshotStore {
     pub fn quarantine_corpus(&self, digest: &str) {
         let mut index = self.index.lock().unwrap();
         index.corpora.remove(digest);
+        let guard = self.write_guard();
         self.quarantine_file(&self.corpus_path(digest));
+        drop(guard);
     }
 
     /// Remove a stored corpus snapshot (the `DELETE /corpus/{digest}`
@@ -415,7 +567,9 @@ impl SnapshotStore {
         let mut index = self.index.lock().unwrap();
         let had = index.corpora.remove(digest).is_some();
         if had {
-            let _ = fs::remove_file(self.corpus_path(digest));
+            let guard = self.write_guard();
+            let _ = self.unlink(&self.corpus_path(digest));
+            drop(guard);
         }
         had
     }
@@ -463,15 +617,14 @@ impl SnapshotStore {
         } else {
             index.corpora.contains_key(id)
         };
-        if !present {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
         let path = if is_atlas {
             self.atlas_path(id)
         } else {
             self.corpus_path(id)
         };
+        if !present {
+            return self.reprobe(&mut index, id, &path, is_atlas);
+        }
         match fs::read(&path) {
             Ok(bytes) => {
                 let tick = index.tick();
@@ -483,22 +636,114 @@ impl SnapshotStore {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(bytes)
             }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // A sibling process evicted or removed this snapshot
+                // after we indexed it. Nothing is damaged — drop the
+                // stale entry and report a miss so the caller rebuilds.
+                if is_atlas {
+                    index.atlases.remove(id);
+                } else {
+                    index.corpora.remove(id);
+                }
+                self.rescans.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
             Err(_) => {
                 if is_atlas {
                     index.atlases.remove(id);
                 } else {
                     index.corpora.remove(id);
                 }
+                let guard = self.write_guard();
                 self.quarantine_file(&path);
+                drop(guard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
+    /// An index miss re-probes the filesystem: a sibling process may
+    /// have persisted this snapshot after our boot scan. Anything found
+    /// is validated (full checksum via the peek) before being adopted
+    /// into the index and served as a hit.
+    fn reprobe(&self, index: &mut Index, id: &str, path: &Path, is_atlas: bool) -> Option<Vec<u8>> {
+        let Ok(bytes) = fs::read(path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let adopted = if is_atlas {
+            match snapshot::peek_atlas(&bytes) {
+                Ok(peek) => {
+                    let last_used = index.tick();
+                    index.atlases.insert(
+                        id.to_string(),
+                        AtlasEntry {
+                            bytes: bytes.len() as u64,
+                            corpus: peek.corpus_digest,
+                            last_used,
+                        },
+                    );
+                    true
+                }
+                Err(e) => {
+                    let guard = self.write_guard();
+                    self.reject_file(path, &e);
+                    drop(guard);
+                    false
+                }
+            }
+        } else {
+            match snapshot::peek_corpus(&bytes) {
+                Ok(peek) if peek.digest == id => {
+                    let modified = fs::metadata(path)
+                        .and_then(|m| m.modified())
+                        .unwrap_or_else(|_| SystemTime::now());
+                    let last_used = index.tick();
+                    index.corpora.insert(
+                        id.to_string(),
+                        CorpusEntry {
+                            bytes: bytes.len() as u64,
+                            origin: peek.origin,
+                            modified,
+                            last_used,
+                        },
+                    );
+                    true
+                }
+                Ok(_) => {
+                    let guard = self.write_guard();
+                    self.quarantine_file(path);
+                    drop(guard);
+                    false
+                }
+                Err(e) => {
+                    let guard = self.write_guard();
+                    self.reject_file(path, &e);
+                    drop(guard);
+                    false
+                }
+            }
+        };
+        if adopted {
+            self.rescans.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(bytes)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
     /// Move a damaged file into `quarantine/` (kept, not deleted, so a
-    /// torn write can be examined) and count it.
+    /// torn write can be examined) and count it. Read-only stores count
+    /// without touching the file.
     fn quarantine_file(&self, path: &Path) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        if self.config.read_only {
+            return;
+        }
         let name = path
             .file_name()
             .and_then(|n| n.to_str())
@@ -516,20 +761,33 @@ impl SnapshotStore {
         if fs::rename(path, &target).is_err() {
             let _ = fs::remove_file(path);
         }
-        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unlink a snapshot file through the fault plan. A file a sibling
+    /// already removed counts as success.
+    fn unlink(&self, path: &Path) -> io::Result<()> {
+        self.config.faults.check(FaultOp::Unlink)?;
+        match fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 
     /// Evict least-recently-used files until under the budget: atlases
     /// first (rebuildable from their corpus), then corpora no remaining
-    /// atlas references.
+    /// atlas references. Callers hold the write lock. A failed unlink
+    /// stops eviction (the entry stays indexed, the budget re-checks at
+    /// the next write) rather than looping on the same victim.
     fn enforce_budget(&self, index: &mut Index) {
         if self.config.max_disk_bytes == 0 {
             return;
         }
         while index.total_bytes() > self.config.max_disk_bytes {
             if let Some(id) = lru_key(index.atlases.iter().map(|(k, e)| (k, e.last_used))) {
+                if self.unlink(&self.atlas_path(&id)).is_err() {
+                    return;
+                }
                 index.atlases.remove(&id);
-                let _ = fs::remove_file(self.atlas_path(&id));
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
@@ -541,8 +799,10 @@ impl SnapshotStore {
             let Some(digest) = lru_key(unreferenced) else {
                 break;
             };
+            if self.unlink(&self.corpus_path(&digest)).is_err() {
+                return;
+            }
             index.corpora.remove(&digest);
-            let _ = fs::remove_file(self.corpus_path(&digest));
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -556,6 +816,10 @@ impl SnapshotStore {
             writes: self.writes.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rescans: self.rescans.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock.as_ref().map_or(0, |l| l.acquisitions()),
+            lock_steals: self.lock.as_ref().map_or(0, |l| l.steals()),
+            lock_contentions: self.lock.as_ref().map_or(0, |l| l.contentions()),
             atlas_files: index.atlases.len() as u64,
             corpus_files: index.corpora.len() as u64,
             atlas_bytes: index.atlases.values().map(|e| e.bytes).sum(),
@@ -571,11 +835,28 @@ fn lru_key<'a>(entries: impl Iterator<Item = (&'a String, u64)>) -> Option<Strin
         .map(|(k, _)| k.clone())
 }
 
-/// Write `bytes` to `path` atomically: a sibling `.tmp` file is
-/// written, fsynced, then renamed over the final path (the directory
+/// Whether a `.tmp` file belongs to a live sibling's in-flight write.
+/// Tmp names carry the writer's pid (`<name>.<ext>.<pid>.tmp`); an
+/// unparsable pid, a dead pid, or our own pid (we have no in-flight
+/// writes while scanning at open) all mean "sweep it".
+fn tmp_writer_alive(path: &Path) -> bool {
+    let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+        return false;
+    };
+    let Some(pid) = stem.rsplit('.').next().and_then(|p| p.parse::<u32>().ok()) else {
+        return false;
+    };
+    pid != std::process::id() && lock::pid_alive(pid)
+}
+
+/// Write `bytes` to `path` atomically: a sibling pid-tagged `.tmp` file
+/// is written, fsynced, then renamed over the final path (the directory
 /// is fsynced best-effort afterwards). Readers either see the old file
-/// or the complete new one, never a torn write.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// or the complete new one, never a torn write; two processes writing
+/// the same content-addressed path use distinct tmp names, and whichever
+/// rename lands last wins with identical bytes. On failure the tmp file
+/// is removed best-effort (a crash leaves it for the boot sweep).
+fn write_atomic(path: &Path, bytes: &[u8], faults: &FaultPlan) -> io::Result<()> {
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
@@ -583,17 +864,35 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let parent = path
         .parent()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bad snapshot path"))?;
-    let tmp = parent.join(format!("{file_name}.{TMP_EXT}"));
-    {
+    let tmp = parent.join(format!("{file_name}.{}.{TMP_EXT}", std::process::id()));
+    let result = (|| {
+        faults.check(FaultOp::Create)?;
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
+        // The payload lands in two halves around the fault check, so an
+        // injected write fault (or a SIGKILL during a stalled one)
+        // leaves a genuinely torn tmp file for the sweep to prove
+        // itself against.
+        let mid = bytes.len() / 2;
+        f.write_all(&bytes[..mid])?;
+        faults.check(FaultOp::Write)?;
+        f.write_all(&bytes[mid..])?;
+        faults.check(FaultOp::Sync)?;
         f.sync_all()?;
+        faults.check(FaultOp::Rename)?;
+        fs::rename(&tmp, path)
+    })();
+    match result {
+        Ok(()) => {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
     }
-    fs::rename(&tmp, path)?;
-    if let Ok(dir) = fs::File::open(parent) {
-        let _ = dir.sync_all();
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -619,9 +918,8 @@ mod tests {
 
         fn store(&self, max_disk_bytes: u64) -> SnapshotStore {
             SnapshotStore::open(StoreConfig {
-                root: self.0.clone(),
                 max_disk_bytes,
-                read_only: false,
+                ..StoreConfig::new(self.0.clone())
             })
             .unwrap()
         }
@@ -633,13 +931,14 @@ mod tests {
         }
     }
 
-    /// A minimal valid corpus snapshot (tiny hand-built corpus).
-    fn corpus_bytes() -> (String, Vec<u8>) {
+    /// A minimal valid corpus snapshot (tiny hand-built corpus). `tag`
+    /// varies the content, so distinct tags yield distinct digests.
+    fn corpus_bytes_tagged(tag: &str) -> (String, Vec<u8>) {
         use recipedb::store::RecipeDbBuilder;
         use recipedb::Cuisine;
         let mut b = RecipeDbBuilder::new();
         let salt = b.catalog_mut().intern_ingredient("salt");
-        let rice = b.catalog_mut().intern_ingredient("rice");
+        let rice = b.catalog_mut().intern_ingredient(tag);
         let boil = b.catalog_mut().intern_process("boil");
         let pan = b.catalog_mut().intern_utensil("pan");
         b.add_recipe(
@@ -653,6 +952,10 @@ mod tests {
         let digest = recipedb::corpus_digest(&db);
         let bytes = snapshot::encode_corpus(&db, CorpusOrigin::Uploaded, 42).unwrap();
         (digest, bytes)
+    }
+
+    fn corpus_bytes() -> (String, Vec<u8>) {
+        corpus_bytes_tagged("rice")
     }
 
     #[test]
@@ -675,6 +978,15 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
         assert_eq!(stats.corpus_files, 1);
         assert_eq!(stats.corpus_bytes, bytes.len() as u64);
+        assert!(
+            stats.lock_acquisitions >= 1,
+            "the persist must have taken the write lock"
+        );
+        assert_eq!(stats.lock_steals, 0);
+        assert!(
+            !scratch.0.join(lock::LOCK_FILE).exists(),
+            "the short-held lock must be released"
+        );
     }
 
     #[test]
@@ -708,13 +1020,44 @@ mod tests {
     fn tmp_leftovers_are_swept_on_open() {
         let scratch = Scratch::new();
         let store = scratch.store(0);
+        // No pid in the name (legacy/garbage) and a dead writer's pid
+        // both sweep; a live sibling's in-flight tmp is left alone.
         let torn = scratch.0.join("atlases").join("torn.atlas.tmp");
         fs::write(&torn, b"half a snapshot").unwrap();
+        let dead = {
+            let mut child = std::process::Command::new("true").spawn().unwrap();
+            let pid = child.id();
+            child.wait().unwrap();
+            scratch.0.join("atlases").join(format!("x.atlas.{pid}.tmp"))
+        };
+        fs::write(&dead, b"dead writer").unwrap();
         drop(store);
 
         let store = scratch.store(0);
         assert!(!torn.exists(), "tmp orphan must be swept at open");
+        assert!(!dead.exists(), "dead writer's tmp must be swept at open");
         assert_eq!(store.stats().corrupt, 0, "a tmp sweep is not corruption");
+    }
+
+    #[test]
+    fn live_sibling_tmp_files_survive_the_sweep() {
+        let scratch = Scratch::new();
+        // A long-lived child stands in for a sibling process mid-write.
+        let mut child = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .unwrap();
+        let live = scratch
+            .0
+            .join("atlases")
+            .join(format!("y.atlas.{}.tmp", child.id()));
+        fs::create_dir_all(scratch.0.join("atlases")).unwrap();
+        fs::write(&live, b"in flight").unwrap();
+
+        let _store = scratch.store(0);
+        assert!(live.exists(), "a live sibling's tmp must not be swept");
+        child.kill().unwrap();
+        child.wait().unwrap();
     }
 
     #[test]
@@ -781,15 +1124,76 @@ mod tests {
         // evicted), which leaves the corpus unreferenced — so the
         // budget may now evict it too.
         let store = SnapshotStore::open(StoreConfig {
-            root: scratch.0.clone(),
             max_disk_bytes: 10,
-            read_only: false,
+            ..StoreConfig::new(scratch.0.clone())
         })
         .unwrap();
         assert_eq!(store.stats().atlas_files, 0);
         assert_eq!(store.stats().corpus_files, 0);
         assert_eq!(store.stats().corrupt, 1);
         assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn boot_scan_lru_seeding_breaks_mtime_ties_on_digest() {
+        // Two corpora written with identical mtimes: the eviction order
+        // must come from the digest tie-break, not read_dir order.
+        let scratch = Scratch::new();
+        let (d1, b1) = corpus_bytes_tagged("alpha");
+        let (d2, b2) = corpus_bytes_tagged("beta");
+        {
+            let store = scratch.store(0);
+            store
+                .persist_corpus(&d1, CorpusOrigin::Uploaded, &b1)
+                .unwrap();
+            store
+                .persist_corpus(&d2, CorpusOrigin::Uploaded, &b2)
+                .unwrap();
+        }
+        let t = SystemTime::UNIX_EPOCH + Duration::from_secs(1_700_000_000);
+        for digest in [&d1, &d2] {
+            fs::File::options()
+                .write(true)
+                .open(scratch.0.join("corpora").join(format!("{digest}.corpus")))
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        // Reopen with a budget that holds exactly one corpus: the
+        // lexicographically smaller digest is older in the seeded LRU
+        // clock and must be the one evicted — deterministically.
+        let survivor = if d1 < d2 { &d2 } else { &d1 };
+        let evicted = if d1 < d2 { &d1 } else { &d2 };
+        for _ in 0..3 {
+            let store = SnapshotStore::open(StoreConfig {
+                max_disk_bytes: b1.len().max(b2.len()) as u64,
+                ..StoreConfig::new(scratch.0.clone())
+            })
+            .unwrap();
+            assert!(
+                store.contains_corpus(survivor),
+                "tie-break must keep the larger digest"
+            );
+            assert!(!store.contains_corpus(evicted));
+            drop(store);
+            // Re-create the evicted file for the next round.
+            let (d, b) = if evicted == &d1 {
+                (&d1, &b1)
+            } else {
+                (&d2, &b2)
+            };
+            let path = scratch.0.join("corpora").join(format!("{d}.corpus"));
+            fs::write(&path, b).unwrap();
+            for digest in [&d1, &d2] {
+                let p = scratch.0.join("corpora").join(format!("{digest}.corpus"));
+                fs::File::options()
+                    .write(true)
+                    .open(p)
+                    .unwrap()
+                    .set_modified(t)
+                    .unwrap();
+            }
+        }
     }
 
     #[test]
@@ -802,15 +1206,49 @@ mod tests {
             .unwrap();
 
         let store = SnapshotStore::open(StoreConfig {
-            root: scratch.0.clone(),
-            max_disk_bytes: 0,
             read_only: true,
+            ..StoreConfig::new(scratch.0.clone())
         })
         .unwrap();
         assert_eq!(store.load_corpus(&digest).unwrap(), bytes);
         assert!(!store.persist_atlas("x", &digest, b"data").unwrap());
         assert!(!store.contains_atlas("x"));
-        assert_eq!(store.stats().writes, 0);
+        let stats = store.stats();
+        assert_eq!(stats.writes, 0);
+        assert_eq!(
+            stats.lock_acquisitions, 0,
+            "read-only mode never takes the lock"
+        );
+        assert!(!scratch.0.join(lock::LOCK_FILE).exists());
+    }
+
+    #[test]
+    fn read_only_boot_scan_never_mutates_the_directory() {
+        let scratch = Scratch::new();
+        let atlases = scratch.0.join("atlases");
+        fs::create_dir_all(&atlases).unwrap();
+        fs::write(atlases.join("torn.atlas.tmp"), b"half").unwrap();
+        fs::write(atlases.join("bogus.atlas"), b"damaged").unwrap();
+
+        let store = SnapshotStore::open(StoreConfig {
+            read_only: true,
+            ..StoreConfig::new(scratch.0.clone())
+        })
+        .unwrap();
+        assert!(
+            atlases.join("torn.atlas.tmp").exists(),
+            "read-only boot must not sweep"
+        );
+        assert!(
+            atlases.join("bogus.atlas").exists(),
+            "read-only boot must not quarantine"
+        );
+        assert_eq!(
+            store.stats().corrupt,
+            1,
+            "damage is still counted, just not moved"
+        );
+        assert!(!store.contains_atlas("bogus"));
     }
 
     #[test]
@@ -837,5 +1275,147 @@ mod tests {
         assert!(store.contains_atlas("other"));
         assert_eq!(store.stats().corpus_files, 0);
         assert_eq!(store.stats().atlas_files, 1);
+    }
+
+    // -- multi-process behaviour (two stores, one directory) ----------
+
+    #[test]
+    fn index_miss_reprobes_a_sibling_processes_write() {
+        let scratch = Scratch::new();
+        let a = scratch.store(0);
+        let b = scratch.store(0); // boots on the same (empty) dir
+        let (digest, bytes) = corpus_bytes();
+        a.persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+
+        // B never saw the persist — its boot scan predates it. The read
+        // path must find the file anyway.
+        assert!(!b.contains_corpus(&digest));
+        assert_eq!(b.load_corpus(&digest).unwrap(), bytes);
+        assert!(b.contains_corpus(&digest), "re-probe adopts the snapshot");
+        let stats = b.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!(stats.rescans, 1);
+        assert_eq!(stats.corrupt, 0);
+    }
+
+    #[test]
+    fn sibling_eviction_degrades_to_a_miss_not_an_error() {
+        let scratch = Scratch::new();
+        let a = scratch.store(0);
+        let (digest, bytes) = corpus_bytes();
+        a.persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+        a.persist_atlas("shared", &digest, &bytes).ok();
+
+        let b = scratch.store(0); // indexes the corpus file at boot
+        assert!(b.contains_corpus(&digest));
+        // A (the "sibling process") removes it behind B's back.
+        assert!(a.remove_corpus(&digest));
+
+        // B's load must degrade to a miss — no quarantine, no panic —
+        // so the serving layer rebuilds instead of erroring.
+        assert!(b.load_corpus(&digest).is_none());
+        let stats = b.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.corrupt, 0, "a vanished file is not corruption");
+        assert!(stats.rescans >= 1, "the stale entry was dropped");
+        assert!(!b.contains_corpus(&digest));
+        // And B can persist it again afterwards.
+        assert!(b
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap());
+    }
+
+    #[test]
+    fn persist_adopts_a_sibling_processes_snapshot_without_rewriting() {
+        let scratch = Scratch::new();
+        let a = scratch.store(0);
+        let b = scratch.store(0);
+        let (digest, bytes) = corpus_bytes();
+        a.persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+
+        // B re-persists the same content: no duplicate write, but the
+        // index adopts the file so accounting and loads work.
+        assert!(!b
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap());
+        assert_eq!(b.stats().writes, 0);
+        assert_eq!(b.stats().rescans, 1);
+        assert!(b.contains_corpus(&digest));
+        assert_eq!(b.stats().corpus_bytes, bytes.len() as u64);
+    }
+
+    // -- fault injection ----------------------------------------------
+
+    #[test]
+    fn faulted_persists_error_without_leaving_visible_files() {
+        let (digest, bytes) = corpus_bytes();
+        for op in [
+            FaultOp::Create,
+            FaultOp::Write,
+            FaultOp::Sync,
+            FaultOp::Rename,
+        ] {
+            let scratch = Scratch::new();
+            let store = SnapshotStore::open(StoreConfig {
+                faults: FaultPlan::failing(op, 1, io::ErrorKind::Other),
+                ..StoreConfig::new(scratch.0.clone())
+            })
+            .unwrap();
+            let err = store
+                .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+                .expect_err("injected fault must surface");
+            assert_eq!(err.kind(), io::ErrorKind::Other, "{op:?}");
+            assert!(
+                !store.contains_corpus(&digest),
+                "{op:?}: failed persist must not be indexed"
+            );
+            let visible: Vec<_> = fs::read_dir(scratch.0.join("corpora"))
+                .unwrap()
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(CORPUS_EXT))
+                .collect();
+            assert!(
+                visible.is_empty(),
+                "{op:?}: no visible snapshot may appear: {visible:?}"
+            );
+            assert!(
+                !scratch.0.join(lock::LOCK_FILE).exists(),
+                "{op:?}: the lock must be released on the error path"
+            );
+            // The store stays usable: a clean retry succeeds.
+            assert!(store
+                .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+                .unwrap());
+            assert_eq!(store.load_corpus(&digest).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn faulted_eviction_unlink_stops_cleanly() {
+        let scratch = Scratch::new();
+        let (digest, bytes) = corpus_bytes();
+        let store = SnapshotStore::open(StoreConfig {
+            max_disk_bytes: (bytes.len() + 120) as u64,
+            faults: FaultPlan::failing(FaultOp::Unlink, 1, io::ErrorKind::PermissionDenied),
+            ..StoreConfig::new(scratch.0.clone())
+        })
+        .unwrap();
+        store
+            .persist_corpus(&digest, CorpusOrigin::Uploaded, &bytes)
+            .unwrap();
+        store.persist_atlas("a1", &digest, &[1u8; 100]).unwrap();
+        // Over budget; the eviction unlink faults. The victim must stay
+        // indexed (its file is still on disk) and nothing may loop.
+        store.persist_atlas("a2", &digest, &[2u8; 100]).unwrap();
+        assert_eq!(store.stats().evictions, 0);
+        assert!(store.contains_atlas("a1"));
+        assert!(store.load_atlas("a1").is_some());
+        // The next budget pass (fault exhausted) evicts normally.
+        store.persist_atlas("a3", &digest, &[3u8; 100]).unwrap();
+        assert!(store.stats().evictions >= 1);
     }
 }

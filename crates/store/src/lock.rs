@@ -1,0 +1,439 @@
+//! Advisory cross-process locking for the snapshot store.
+//!
+//! Two `atlas-serve` processes pointed at one `--data-dir` must not
+//! race a persist's commit rename against a sibling's evicting unlink.
+//! The store serializes its *mutations* (persist, evict, quarantine,
+//! remove) behind a short-held write lock: a `store.lock` file in the
+//! store root, acquired with `O_CREAT|O_EXCL` semantics
+//! (`OpenOptions::create_new`) — the one atomic "create if absent"
+//! primitive std exposes on every platform without vendoring libc for
+//! `flock(2)`. The read path never takes it (readers tolerate renames
+//! because they are atomic, and tolerate unlinks by degrading to a
+//! rebuild), and read-only stores never create it at all.
+//!
+//! The lock file records its owner — `{pid, boot_id, acquired_at}` —
+//! so a lock abandoned by a crashed process can be detected and broken:
+//! an owner whose pid no longer exists (or whose boot id is from a
+//! previous boot, so its pid is meaningless) is stale. Breaking renames
+//! the lock file aside before unlinking it, so when two processes
+//! decide to break the same stale lock, exactly one rename wins and the
+//! loser simply retries acquisition; a freshly re-acquired lock is
+//! never unlinked by a slow breaker. Every break is counted
+//! ([`StoreLock::steals`]) and surfaced through `/metrics`.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// The lock file's name inside the store root.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// How long an acquirer sleeps between attempts while the lock is held.
+const POLL: Duration = Duration::from_millis(2);
+
+/// A lock file that cannot be parsed (a crash between creating it and
+/// writing the owner record) is treated as stale once older than this.
+const UNPARSABLE_GRACE: Duration = Duration::from_secs(1);
+
+/// The owner record inside a lock file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOwner {
+    /// The owning process id.
+    pub pid: u32,
+    /// The boot id the owner was running under (`"unknown"` where the
+    /// platform offers none).
+    pub boot_id: String,
+    /// When the lock was acquired, in Unix milliseconds.
+    pub acquired_at_ms: u64,
+}
+
+impl LockOwner {
+    fn current() -> LockOwner {
+        LockOwner {
+            pid: std::process::id(),
+            boot_id: current_boot_id(),
+            acquired_at_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "pid={}\nboot_id={}\nacquired_at_ms={}\n",
+            self.pid, self.boot_id, self.acquired_at_ms
+        )
+    }
+
+    fn parse(text: &str) -> Option<LockOwner> {
+        let mut pid = None;
+        let mut boot_id = None;
+        let mut acquired_at_ms = None;
+        for line in text.lines() {
+            match line.split_once('=') {
+                Some(("pid", v)) => pid = v.trim().parse().ok(),
+                Some(("boot_id", v)) => boot_id = Some(v.trim().to_string()),
+                Some(("acquired_at_ms", v)) => acquired_at_ms = v.trim().parse().ok(),
+                _ => {}
+            }
+        }
+        Some(LockOwner {
+            pid: pid?,
+            boot_id: boot_id?,
+            acquired_at_ms: acquired_at_ms?,
+        })
+    }
+
+    /// Whether this owner can no longer be holding the lock: it ran
+    /// under a previous boot (its pid means nothing now), or its pid is
+    /// dead on the current boot.
+    fn is_stale(&self, current_boot: &str) -> bool {
+        if self.boot_id != "unknown" && current_boot != "unknown" && self.boot_id != current_boot {
+            return true;
+        }
+        !pid_alive(self.pid)
+    }
+}
+
+/// The store's write lock: per-store, short-held, stale-breaking.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+    timeout: Duration,
+    boot_id: String,
+    acquisitions: AtomicU64,
+    steals: AtomicU64,
+    contentions: AtomicU64,
+    grave_seq: AtomicU64,
+}
+
+impl StoreLock {
+    /// A lock handle for the store rooted at `root`. Nothing touches
+    /// the filesystem until [`StoreLock::acquire`].
+    pub fn new(root: &Path, timeout: Duration) -> StoreLock {
+        StoreLock {
+            path: root.join(LOCK_FILE),
+            timeout,
+            boot_id: current_boot_id(),
+            acquisitions: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            contentions: AtomicU64::new(0),
+            grave_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Stale locks broken (dead pid, previous boot, or unparsable past
+    /// the grace period).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that found the lock live-held and had to wait.
+    pub fn contentions(&self) -> u64 {
+        self.contentions.load(Ordering::Relaxed)
+    }
+
+    /// Acquire the lock, breaking stale holders, waiting up to the
+    /// configured timeout behind live ones. The returned guard unlinks
+    /// the lock file on drop.
+    pub fn acquire(&self) -> io::Result<LockGuard<'_>> {
+        let deadline = Instant::now() + self.timeout;
+        let mut contended = false;
+        loop {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&self.path)
+            {
+                Ok(mut file) => {
+                    // Owner record and fsync are best-effort: an
+                    // unwritten lock file still excludes, it just
+                    // ages into "unparsable ⇒ stale" if we die here.
+                    let _ = file.write_all(LockOwner::current().render().as_bytes());
+                    let _ = file.sync_all();
+                    self.acquisitions.fetch_add(1, Ordering::Relaxed);
+                    return Ok(LockGuard { lock: self });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if self.try_break_stale() {
+                        continue; // broken (or vanished) — retry immediately
+                    }
+                    if !contended {
+                        contended = true;
+                        self.contentions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if Instant::now() >= deadline {
+                        let holder = fs::read_to_string(&self.path)
+                            .ok()
+                            .and_then(|t| LockOwner::parse(&t));
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "store lock {} held by {holder:?} past the {:?} timeout",
+                                self.path.display(),
+                                self.timeout
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// If the current lock file is stale, break it. Returns `true` when
+    /// the caller should retry `create_new` immediately (the lock was
+    /// broken, already gone, or changed hands under us), `false` when a
+    /// live owner holds it.
+    fn try_break_stale(&self) -> bool {
+        let Ok(raw) = fs::read(&self.path) else {
+            return true; // vanished between create_new and read — retry
+        };
+        let stale = match LockOwner::parse(&String::from_utf8_lossy(&raw)) {
+            Some(owner) => owner.is_stale(&self.boot_id),
+            // No readable owner record: stale only once old enough that
+            // a crash mid-create (not a racing writer) explains it.
+            None => fs::metadata(&self.path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|m| SystemTime::now().duration_since(m).ok())
+                .is_some_and(|age| age > UNPARSABLE_GRACE),
+        };
+        if !stale {
+            return false;
+        }
+        // Re-read: if the file changed since we judged it stale, the
+        // lock changed hands and our verdict is void.
+        match fs::read(&self.path) {
+            Ok(recheck) if recheck == raw => {}
+            Ok(_) => return true,
+            Err(_) => return true,
+        }
+        // Break by rename-then-unlink: of N processes breaking the same
+        // stale lock, exactly one rename succeeds; the others see it
+        // vanish and retry acquisition. Unlinking the renamed grave can
+        // never hit a freshly re-acquired lock.
+        let grave = self.path.with_file_name(format!(
+            "{LOCK_FILE}.stale.{}.{}",
+            std::process::id(),
+            self.grave_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        if fs::rename(&self.path, &grave).is_ok() {
+            let _ = fs::remove_file(&grave);
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
+/// Holds the store's write lock; unlinks the lock file on drop.
+#[derive(Debug)]
+pub struct LockGuard<'a> {
+    lock: &'a StoreLock,
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.lock.path);
+    }
+}
+
+/// Whether a pid currently exists. On Linux this is a `/proc` probe —
+/// no syscall wrapper, no libc. Elsewhere pids are conservatively
+/// assumed alive (locks there go stale only via boot-id mismatch or an
+/// unparsable record), trading liveness for never breaking a live lock.
+#[cfg(target_os = "linux")]
+pub(crate) fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn pid_alive(_pid: u32) -> bool {
+    true
+}
+
+/// The machine's boot id, so pids recorded before a reboot are never
+/// mistaken for live processes that happen to share the number.
+fn current_boot_id() -> String {
+    fs::read_to_string("/proc/sys/kernel/random/boot_id")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new() -> Scratch {
+            let dir = std::env::temp_dir().join(format!(
+                "atlas-lock-test-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A pid that is guaranteed dead: a just-reaped child's.
+    fn dead_pid() -> u32 {
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn true");
+        let pid = child.id();
+        child.wait().expect("reap");
+        pid
+    }
+
+    #[test]
+    fn acquire_creates_the_lock_file_and_release_removes_it() {
+        let scratch = Scratch::new();
+        let lock = StoreLock::new(&scratch.0, Duration::from_secs(1));
+        {
+            let _guard = lock.acquire().unwrap();
+            let text = fs::read_to_string(lock.path()).unwrap();
+            let owner = LockOwner::parse(&text).expect("owner record");
+            assert_eq!(owner.pid, std::process::id());
+            assert!(owner.acquired_at_ms > 0);
+        }
+        assert!(!lock.path().exists(), "guard drop must unlink the lock");
+        assert_eq!(lock.acquisitions(), 1);
+        assert_eq!((lock.steals(), lock.contentions()), (0, 0));
+    }
+
+    #[test]
+    fn contended_acquire_waits_for_the_live_holder() {
+        let scratch = Scratch::new();
+        // Leaked so the guard moved into the holder thread is 'static.
+        let a: &'static StoreLock =
+            Box::leak(Box::new(StoreLock::new(&scratch.0, Duration::from_secs(5))));
+        let b = StoreLock::new(&scratch.0, Duration::from_secs(5));
+        let guard = a.acquire().unwrap();
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            drop(guard);
+        });
+        let started = Instant::now();
+        let _guard = b.acquire().unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(50),
+            "must have waited for the holder"
+        );
+        assert_eq!(b.contentions(), 1);
+        // steals()==0 proves the lock was released to us, never broken.
+        assert_eq!(b.steals(), 0, "a live lock is never stolen");
+        release.join().unwrap();
+    }
+
+    #[test]
+    fn live_holder_times_out_other_acquirers() {
+        let scratch = Scratch::new();
+        let a = StoreLock::new(&scratch.0, Duration::from_secs(1));
+        let b = StoreLock::new(&scratch.0, Duration::from_millis(60));
+        let _guard = a.acquire().unwrap();
+        let err = b.acquire().expect_err("must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            err.to_string().contains(&std::process::id().to_string()),
+            "timeout names the holder: {err}"
+        );
+        assert!(a.path().exists(), "the held lock must survive");
+    }
+
+    #[test]
+    fn dead_pid_locks_are_broken_and_counted() {
+        let scratch = Scratch::new();
+        let lock = StoreLock::new(&scratch.0, Duration::from_millis(200));
+        let stale = LockOwner {
+            pid: dead_pid(),
+            boot_id: current_boot_id(),
+            acquired_at_ms: 1,
+        };
+        fs::write(lock.path(), stale.render()).unwrap();
+        let _guard = lock.acquire().expect("stale lock must be broken");
+        assert_eq!(lock.steals(), 1);
+        assert_eq!(lock.acquisitions(), 1);
+        let owner = LockOwner::parse(&fs::read_to_string(lock.path()).unwrap()).unwrap();
+        assert_eq!(owner.pid, std::process::id());
+    }
+
+    #[test]
+    fn previous_boot_locks_are_stale_even_with_a_live_pid() {
+        let scratch = Scratch::new();
+        let lock = StoreLock::new(&scratch.0, Duration::from_millis(200));
+        let stale = LockOwner {
+            pid: std::process::id(), // alive — but from "another boot"
+            boot_id: "not-this-boot".to_string(),
+            acquired_at_ms: 1,
+        };
+        fs::write(lock.path(), stale.render()).unwrap();
+        if current_boot_id() == "unknown" {
+            return; // platform without boot ids: rule can't apply
+        }
+        let _guard = lock.acquire().expect("cross-boot lock must be broken");
+        assert_eq!(lock.steals(), 1);
+    }
+
+    #[test]
+    fn unparsable_lock_files_break_only_after_the_grace_period() {
+        let scratch = Scratch::new();
+        let lock = StoreLock::new(&scratch.0, Duration::from_millis(60));
+        fs::write(lock.path(), b"garbage").unwrap();
+        // Fresh garbage could be a racing writer mid-create: wait.
+        let err = lock.acquire().expect_err("fresh unparsable file holds");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Age the file past the grace period; now it is a crash residue.
+        let old = SystemTime::now() - (UNPARSABLE_GRACE + Duration::from_secs(1));
+        fs::File::options()
+            .write(true)
+            .open(lock.path())
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        let _guard = lock.acquire().expect("aged unparsable file is stale");
+        assert_eq!(lock.steals(), 1);
+    }
+
+    #[test]
+    fn owner_record_round_trips() {
+        let owner = LockOwner {
+            pid: 4242,
+            boot_id: "b00t-1d".to_string(),
+            acquired_at_ms: 1_700_000_000_000,
+        };
+        assert_eq!(LockOwner::parse(&owner.render()), Some(owner));
+        assert_eq!(LockOwner::parse(""), None);
+        assert_eq!(
+            LockOwner::parse("pid=nope\nboot_id=x\nacquired_at_ms=1"),
+            None
+        );
+    }
+}

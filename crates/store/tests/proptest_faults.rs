@@ -1,0 +1,214 @@
+//! Property test: single-fault schedules across the persist pipeline.
+//!
+//! For an arbitrary injected fault — any store I/O primitive (tmp-file
+//! create, payload write, fsync, commit rename, eviction unlink), any
+//! occurrence position, any `io::ErrorKind` — drive a persist workload
+//! through the fault and assert the store's durability invariant after
+//! every step:
+//!
+//! > Visible snapshots always decode clean; damaged residue is only
+//! > ever a `.tmp` file or inside `quarantine/` — and a clean reopen
+//! > of the directory always recovers to a fully working store.
+//!
+//! The case count defaults to 64 and is raised in CI's fault-injection
+//! smoke job via `ATLAS_FAULT_CASES`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use atlas_store::{FaultOp, FaultPlan, SnapshotStore, StoreConfig};
+use cuisine_atlas::pipeline::{AtlasConfig, CuisineAtlas};
+use cuisine_atlas::snapshot::{self, CorpusOrigin};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "atlas-store-prop-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Real, checksummed snapshot bytes — the invariant is "visible files
+/// decode clean", so the inputs must be genuine frames, built once.
+struct Fixture {
+    digest: String,
+    corpus: Vec<u8>,
+    atlas: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        use recipedb::store::RecipeDbBuilder;
+        use recipedb::Cuisine;
+        // Three cuisines, four recipes each: big enough to cluster,
+        // small enough that the one-time atlas build is nearly free.
+        let mut b = RecipeDbBuilder::new();
+        let ings: Vec<_> = (0..6)
+            .map(|i| b.catalog_mut().intern_ingredient(&format!("ing-{i}")))
+            .collect();
+        let procs: Vec<_> = (0..3)
+            .map(|i| b.catalog_mut().intern_process(&format!("proc-{i}")))
+            .collect();
+        for (ci, &cuisine) in Cuisine::ALL[..3].iter().enumerate() {
+            for r in 0..4 {
+                b.add_recipe(
+                    format!("r{ci}-{r}"),
+                    cuisine,
+                    vec![ings[ci], ings[(ci + r) % 6], ings[5 - ci]],
+                    vec![procs[(ci + r) % 3]],
+                    vec![],
+                );
+            }
+        }
+        let db = Arc::new(b.build().unwrap());
+        let digest = recipedb::corpus_digest(&db);
+        let corpus = snapshot::encode_corpus(&db, CorpusOrigin::Uploaded, 7).unwrap();
+        let atlas_obj = CuisineAtlas::from_shared(Arc::clone(&db), &AtlasConfig::quick(1));
+        let atlas = snapshot::encode_atlas(&atlas_obj, &digest);
+        Fixture {
+            digest,
+            corpus,
+            atlas,
+        }
+    })
+}
+
+/// The durability invariant, checked between every pipeline step:
+/// every *visible* snapshot file decodes clean; everything else in the
+/// snapshot directories is `.tmp` residue (swept at the next boot).
+fn assert_invariants(root: &Path) {
+    for dir in ["atlases", "corpora"] {
+        for entry in fs::read_dir(root.join(dir)).unwrap() {
+            let path = entry.unwrap().path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            match ext {
+                Some("tmp") => {} // crash residue, swept at boot
+                Some("atlas") => {
+                    let bytes = fs::read(&path).unwrap();
+                    snapshot::peek_atlas(&bytes)
+                        .unwrap_or_else(|e| panic!("torn visible atlas {}: {e}", path.display()));
+                }
+                Some("corpus") => {
+                    let bytes = fs::read(&path).unwrap();
+                    let peek = snapshot::peek_corpus(&bytes)
+                        .unwrap_or_else(|e| panic!("torn visible corpus {}: {e}", path.display()));
+                    let stem = path.file_stem().unwrap().to_str().unwrap();
+                    assert_eq!(
+                        peek.digest,
+                        stem,
+                        "visible corpus misnamed: {}",
+                        path.display()
+                    );
+                }
+                _ => panic!("unexpected residue {}", path.display()),
+            }
+        }
+    }
+}
+
+fn open(root: &Path, max_disk_bytes: u64, faults: FaultPlan) -> SnapshotStore {
+    SnapshotStore::open(StoreConfig {
+        max_disk_bytes,
+        faults,
+        ..StoreConfig::new(root.to_path_buf())
+    })
+    .expect("open never hits injected faults on an empty/clean dir")
+}
+
+fn op_strategy() -> impl Strategy<Value = FaultOp> {
+    prop_oneof![
+        Just(FaultOp::Create),
+        Just(FaultOp::Write),
+        Just(FaultOp::Sync),
+        Just(FaultOp::Rename),
+        Just(FaultOp::Unlink),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = io::ErrorKind> {
+    prop_oneof![
+        Just(io::ErrorKind::NotFound),
+        Just(io::ErrorKind::PermissionDenied),
+        Just(io::ErrorKind::Interrupted),
+        Just(io::ErrorKind::TimedOut),
+        Just(io::ErrorKind::Other),
+    ]
+}
+
+/// Case count, raised in CI via `ATLAS_FAULT_CASES` (the vendored
+/// proptest has no env handling of its own).
+fn fault_cases() -> u32 {
+    std::env::var("ATLAS_FAULT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_cases()))]
+
+    #[test]
+    fn any_single_fault_never_tears_a_visible_snapshot(
+        op in op_strategy(),
+        nth in 1u64..=3,
+        kind in kind_strategy(),
+    ) {
+        let fx = fixture();
+        let scratch = Scratch::new();
+        // Budget: the corpus plus one atlas fits, two atlases don't —
+        // so persisting "a2" forces an eviction (an unlink site).
+        let budget = (fx.corpus.len() + fx.atlas.len() + fx.atlas.len() / 2) as u64;
+        let plan = FaultPlan::failing(op, nth, kind);
+        let store = open(&scratch.0, budget, plan.clone());
+
+        type Step<'a> = &'a dyn Fn(&SnapshotStore) -> io::Result<bool>;
+        let steps: [Step<'_>; 3] = [
+            &|s| s.persist_corpus(&fx.digest, CorpusOrigin::Uploaded, &fx.corpus),
+            &|s| s.persist_atlas("a1", &fx.digest, &fx.atlas),
+            &|s| s.persist_atlas("a2", &fx.digest, &fx.atlas),
+        ];
+        for step in steps {
+            match step(&store) {
+                Ok(_) => {}
+                Err(e) => prop_assert_eq!(
+                    e.kind(), kind,
+                    "only the injected fault may surface"
+                ),
+            }
+            assert_invariants(&scratch.0);
+        }
+        drop(store);
+
+        // A clean reopen recovers completely: residue is swept, every
+        // surviving file indexes, and the full workload re-persists.
+        let store = open(&scratch.0, 0, FaultPlan::none());
+        assert_invariants(&scratch.0);
+        prop_assert_eq!(store.stats().corrupt, 0, "no torn file may reach the scan");
+        store.persist_corpus(&fx.digest, CorpusOrigin::Uploaded, &fx.corpus).unwrap();
+        store.persist_atlas("a1", &fx.digest, &fx.atlas).unwrap();
+        store.persist_atlas("a2", &fx.digest, &fx.atlas).unwrap();
+        prop_assert_eq!(store.load_corpus(&fx.digest).unwrap(), fx.corpus.clone());
+        prop_assert_eq!(store.load_atlas("a1").unwrap(), fx.atlas.clone());
+        prop_assert_eq!(store.load_atlas("a2").unwrap(), fx.atlas.clone());
+        assert_invariants(&scratch.0);
+    }
+}
